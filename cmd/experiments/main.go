@@ -1,0 +1,168 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Tables 1-2, Figures 7-11) plus the repository's ablation
+// studies, writing text reports to stdout and CSV data to -out.
+//
+// Usage:
+//
+//	experiments                 # everything, 64 cores, small scale
+//	experiments -only fig9      # one exhibit
+//	experiments -cores 16 -scale tiny   # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/report"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+func main() {
+	cores := flag.Int("cores", 64, "core count")
+	scaleName := flag.String("scale", "small", "workload scale: tiny, small")
+	only := flag.String("only", "", "run one exhibit: table1, table2, fig7, fig8, fig9, fig10, fig11, ablation")
+	outPath := flag.String("out", "", "also write all results as CSV to this file")
+	flag.Parse()
+
+	scale := workloads.Small
+	if *scaleName == "tiny" {
+		scale = workloads.Tiny
+	}
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	if want("table1") {
+		report.Table1(os.Stdout, config.Default())
+		fmt.Println()
+	}
+	if want("table2") {
+		report.Table2(os.Stdout, workloads.All(scale))
+		fmt.Println()
+	}
+
+	needsRuns := false
+	for _, ex := range []string{"fig7", "fig8", "fig9", "fig10", "fig11"} {
+		if want(ex) {
+			needsRuns = true
+		}
+	}
+	if !needsRuns && !want("ablation") {
+		return
+	}
+
+	names := workloads.Names()
+	cacheRes := map[string]system.Results{}
+	hybridRes := map[string]system.Results{}
+	idealRes := map[string]system.Results{}
+	var all []system.Results
+
+	if needsRuns {
+		for _, n := range names {
+			for _, sys := range []config.MemorySystem{config.CacheBased, config.HybridReal, config.HybridIdeal} {
+				t0 := time.Now()
+				r, err := system.RunBenchmark(sys, workloads.Build(n, scale), *cores, 0)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s on %v failed: %v\n", n, sys, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "ran %s/%v in %.1fs (%d cycles)\n", n, sys, time.Since(t0).Seconds(), r.Cycles)
+				all = append(all, r)
+				switch sys {
+				case config.CacheBased:
+					cacheRes[n] = r
+				case config.HybridReal:
+					hybridRes[n] = r
+				case config.HybridIdeal:
+					idealRes[n] = r
+				}
+			}
+		}
+		fmt.Println()
+		if want("fig7") {
+			report.Fig7(os.Stdout, names, hybridRes, idealRes)
+			fmt.Println()
+		}
+		if want("fig8") {
+			report.Fig8(os.Stdout, names, hybridRes)
+			fmt.Println()
+		}
+		if want("fig9") {
+			report.Fig9(os.Stdout, names, cacheRes, hybridRes)
+			fmt.Println()
+		}
+		if want("fig10") {
+			report.Fig10(os.Stdout, names, cacheRes, hybridRes)
+			fmt.Println()
+		}
+		if want("fig11") {
+			report.Fig11(os.Stdout, names, cacheRes, hybridRes)
+			fmt.Println()
+		}
+	}
+
+	if want("ablation") {
+		runAblation(*cores, scale)
+	}
+
+	if *outPath != "" && len(all) > 0 {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot write %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		report.CSV(f, all)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+	}
+}
+
+// runAblation sweeps the filter size on IS (the most filter-sensitive
+// benchmark) — the design-choice study DESIGN.md calls Ablation A.
+func runAblation(cores int, scale workloads.Scale) {
+	fmt.Println("Ablation A: filter size sweep on IS (hybrid, real protocol)")
+	fmt.Printf("  %-8s %-10s %-10s %-10s\n", "Entries", "HitRatio", "Cycles", "CohPkts")
+	for _, entries := range []int{8, 16, 32, 48, 64} {
+		cfg := config.ForSystem(config.HybridReal)
+		cfg.FilterEntries = entries
+		if cores != cfg.Cores {
+			cfg = shrinkTo(cfg, cores)
+		}
+		m, err := system.Build(cfg, workloads.Build("IS", scale), 0xC0FFEE)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablation build: %v\n", err)
+			return
+		}
+		r, err := m.Run(0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablation run: %v\n", err)
+			return
+		}
+		var coh uint64
+		coh = r.NoCPackets[5] // CohProt
+		fmt.Printf("  %-8d %-10.4f %-10d %-10d\n", entries, r.FilterHitRatio, r.Cycles, coh)
+	}
+}
+
+// shrinkTo adapts the mesh to a smaller core count (mirrors system.shrink,
+// kept local to avoid exporting a test helper).
+func shrinkTo(cfg config.Config, cores int) config.Config {
+	w, h := 1, cores
+	for d := 1; d*d <= cores; d++ {
+		if cores%d == 0 {
+			w, h = d, cores/d
+		}
+	}
+	cfg.Cores = cores
+	cfg.MeshWidth = w
+	cfg.MeshHeight = h
+	if cfg.MemControllers > cores {
+		cfg.MemControllers = cores
+	}
+	if cfg.FilterDirEntries < cores {
+		cfg.FilterDirEntries = cores
+	}
+	return cfg
+}

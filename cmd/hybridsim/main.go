@@ -1,0 +1,99 @@
+// Command hybridsim runs one benchmark on one machine configuration and
+// prints its measurements.
+//
+// Usage:
+//
+//	hybridsim -bench CG -system hybrid -cores 64 -scale small
+//
+// Systems: cache (baseline, 64KB L1D), hybrid (SPMs + the paper's coherence
+// protocol), ideal (SPMs + oracle coherence).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/noc"
+	"repro/internal/report"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+func main() {
+	benchName := flag.String("bench", "CG", "benchmark: CG, EP, FT, IS, MG, SP")
+	sysName := flag.String("system", "hybrid", "machine: cache, hybrid, ideal")
+	cores := flag.Int("cores", 64, "core count (square-ish mesh is chosen automatically)")
+	scaleName := flag.String("scale", "small", "workload scale: tiny, small")
+	showConfig := flag.Bool("config", false, "print the Table 1 machine description and exit")
+	csv := flag.Bool("csv", false, "emit results as CSV")
+	maxEvents := flag.Uint64("max-events", 0, "abort after this many simulation events (0 = unlimited)")
+	flag.Parse()
+
+	var sys config.MemorySystem
+	switch *sysName {
+	case "cache":
+		sys = config.CacheBased
+	case "hybrid":
+		sys = config.HybridReal
+	case "ideal":
+		sys = config.HybridIdeal
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *sysName)
+		os.Exit(2)
+	}
+
+	if *showConfig {
+		report.Table1(os.Stdout, config.ForSystem(sys))
+		return
+	}
+
+	var scale workloads.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = workloads.Tiny
+	case "small":
+		scale = workloads.Small
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	bench := workloads.Build(*benchName, scale)
+	r, err := system.RunBenchmark(sys, bench, *cores, *maxEvents)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *csv {
+		report.CSV(os.Stdout, []system.Results{r})
+		return
+	}
+
+	fmt.Printf("%s on %s (%d cores, %s scale)\n", r.Benchmark, r.System, *cores, scale)
+	fmt.Printf("  cycles           %d\n", r.Cycles)
+	fmt.Printf("  phase cycles     control=%d sync=%d work=%d\n",
+		r.PhaseCycles[isa.PhaseControl], r.PhaseCycles[isa.PhaseSync], r.PhaseCycles[isa.PhaseWork])
+	fmt.Printf("  retired instrs   %d\n", r.Retired)
+	fmt.Printf("  NoC packets      %d (", r.TotalPkts)
+	for c := noc.Category(0); c < noc.NumCategories; c++ {
+		if c > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Printf("%s=%d", c, r.NoCPackets[c])
+	}
+	fmt.Println(")")
+	e := r.Energy
+	fmt.Printf("  energy (pJ)      total=%.0f cpus=%.0f caches=%.0f noc=%.0f others=%.0f spms=%.0f cohprot=%.0f\n",
+		e.Total(), e.CPUs, e.Caches, e.NoC, e.Others, e.SPMs, e.CohProt)
+	if sys == config.HybridReal {
+		fmt.Printf("  filter hit ratio %.2f%%\n", r.FilterHitRatio*100)
+		fmt.Printf("  LSQ flushes      %d\n", r.Flushes)
+	}
+	if sys != config.CacheBased {
+		fmt.Printf("  DMA line xfers   %d\n", r.DMALineTransfers)
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Coherence Protocol
+// for Transparent Management of Scratchpad Memories in Shared Memory
+// Manycore Architectures" (Alvarez et al., ISCA 2015).
+//
+// The simulator, protocol and workloads live under internal/; runnable
+// entry points are cmd/hybridsim, cmd/experiments and the examples/ mains.
+// bench_test.go in this directory regenerates every table and figure of the
+// paper's evaluation as testing.B benchmarks (scaled down); use
+// cmd/experiments for the full-size runs.
+package repro

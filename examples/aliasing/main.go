@@ -1,0 +1,94 @@
+// Aliasing: the case the paper is actually about. A kernel whose random
+// pointer accesses REALLY DO alias the array sections mapped to the SPMs —
+// the situation no compiler alias analysis can rule out, which without the
+// coherence protocol would force the compiler to give up on SPM mapping.
+//
+// The example drives the protocol engine directly so every Fig. 5 case is
+// visible: local SPMDir hits (5b), filter hits (5a), FilterDir resolutions
+// (5c), remote SPM services (5d), and the §3.4 LSQ re-check that flushes the
+// pipeline when the rewritten address conflicts with an in-flight access.
+//
+//	go run ./examples/aliasing
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/spm"
+)
+
+func main() {
+	cfg := config.Default()
+	cfg.Cores = 16
+	cfg.MeshWidth, cfg.MeshHeight = 4, 4
+	cfg.MemControllers = 4
+
+	eng := sim.NewEngine()
+	mesh := noc.NewBW(eng, 4, 4, cfg.FlitBytes, cfg.LinkBandwidth, cfg.LinkLatency, cfg.RouterLatency)
+	dram := mem.NewSystem(eng, []int{5, 6, 9, 10}, cfg.LineSize, cfg.MemLatency, cfg.MemCyclesPerLn)
+	hier := coherence.New(eng, cfg, mesh, dram)
+	var spms []*spm.SPM
+	for i := 0; i < cfg.Cores; i++ {
+		spms = append(spms, spm.New(eng, cfg.SPMLatency))
+	}
+	amap := spm.NewAddressMap(cfg.Cores, cfg.SPMSize)
+	prot := core.New(eng, cfg, mesh, hier, spms, amap, false)
+
+	flushes := 0
+	prot.SetRecheckHook(func(c int, spmAddr uint64, isStore bool) bool {
+		// A real core searches its LSQ; here we flush whenever the
+		// protocol rewrites an address, to show the hook in action.
+		flushes++
+		return true
+	})
+
+	const bufSz = 4 << 10
+	for c := 0; c < cfg.Cores; c++ {
+		prot.SetBufSize(c, bufSz)
+	}
+
+	// The "compiler" mapped array section [0x100000, 0x101000) to core 3's
+	// SPM buffer 0 — and the program's pointer writes alias it.
+	gmBase := uint64(0x10_0000)
+	prot.NotifyMap(3, gmBase, amap.AddrFor(3, 0), bufSz)
+	eng.Run()
+
+	served := map[core.Served]int{}
+	record := func(s core.Served) { served[s]++ }
+
+	fmt.Println("guarded accesses against a truly aliasing mapping:")
+
+	// Core 3 touches its own mapped chunk: Fig. 5b (local SPM), and the
+	// LSQ re-check fires because the address was rewritten.
+	prot.GuardedAccess(3, gmBase+0x40, 0x400, true, record)
+	eng.Run()
+
+	// Core 7 touches the same chunk: Fig. 5d (remote SPM serves it).
+	prot.GuardedAccess(7, gmBase+0x80, 0x404, false, record)
+	eng.Run()
+
+	// Core 7 touches an unmapped address: Fig. 5c then 5a.
+	prot.GuardedAccess(7, 0x20_0000, 0x408, false, record) // cold -> FilterDir broadcast
+	eng.Run()
+	prot.GuardedAccess(7, 0x20_0008, 0x40C, false, record) // warm -> filter hit
+	eng.Run()
+
+	fmt.Printf("  served by local SPM:  %d (Fig. 5b)\n", served[core.ServedLocalSPM])
+	fmt.Printf("  served by remote SPM: %d (Fig. 5d)\n", served[core.ServedRemoteSPM])
+	fmt.Printf("  served by the cache:  %d (Fig. 5a/5c)\n", served[core.ServedCache])
+	fmt.Printf("  pipeline flushes:     %d (LSQ re-check, paper 3.4)\n", flushes)
+
+	st := prot.Stats()
+	fmt.Println("\nprotocol counters:")
+	for _, k := range st.Keys() {
+		fmt.Printf("  %-24s %d\n", k, st.Get(k))
+	}
+	fmt.Printf("\nCohProt NoC packets: %d\n", mesh.Packets(noc.CohProt))
+	fmt.Println("\nEvery access reached the valid copy — the compiler never had to bail out.")
+}

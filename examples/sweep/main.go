@@ -1,0 +1,44 @@
+// Sweep: the filter-size ablation (DESIGN.md Ablation A). The per-core
+// filter caches "not mapped to any SPM" verdicts; its size trades CAM energy
+// against FilterDir round-trips. IS — the benchmark with the weakest guarded
+// locality — is the most sensitive, exactly as the paper's Fig. 8 suggests.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+func main() {
+	const cores = 16
+	fmt.Println("filter size sweep: IS on the hybrid system (16 cores, small scale; takes a minute)")
+	fmt.Printf("%-10s %-12s %-10s %-14s %-12s\n",
+		"entries", "hit-ratio", "cycles", "CohProt pkts", "broadcasts?")
+
+	for _, entries := range []int{4, 8, 16, 32, 48, 96} {
+		cfg := config.ForSystem(config.HybridReal)
+		cfg.FilterEntries = entries
+		cfg.Cores = cores
+		cfg.MeshWidth, cfg.MeshHeight = 4, 4
+		m, err := system.Build(cfg, workloads.Build("IS", workloads.Small), 0xC0FFEE)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := m.Run(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %-12.4f %-10d %-14d %-12d\n",
+			entries, r.FilterHitRatio, r.Cycles, r.NoCPackets[noc.CohProt],
+			m.Protocol.Stats().Get("fdir.broadcasts"))
+	}
+	fmt.Println("\nBigger filters push the hit ratio up and protocol traffic down until")
+	fmt.Println("the guarded working set fits; Table 1's 48 entries sit at the knee.")
+}

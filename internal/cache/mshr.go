@@ -1,0 +1,77 @@
+package cache
+
+import "fmt"
+
+// MSHR models the miss status holding registers of a cache controller: one
+// entry per in-flight line fill, each holding the continuations waiting for
+// the fill to complete. Secondary misses on the same line coalesce onto the
+// existing entry instead of issuing new requests.
+type MSHR struct {
+	capacity int
+	entries  map[uint64]*mshrEntry
+}
+
+type mshrEntry struct {
+	waiters   []func()
+	wantWrite bool // some waiter needs write permission
+}
+
+// NewMSHR returns an MSHR file with the given entry capacity.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: MSHR capacity %d", capacity))
+	}
+	return &MSHR{capacity: capacity, entries: make(map[uint64]*mshrEntry)}
+}
+
+// Pending reports whether a fill for lineAddr is already in flight.
+func (m *MSHR) Pending(lineAddr uint64) bool {
+	_, ok := m.entries[lineAddr]
+	return ok
+}
+
+// Full reports whether no new entry can be allocated.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+
+// InFlight returns the number of allocated entries.
+func (m *MSHR) InFlight() int { return len(m.entries) }
+
+// Allocate creates an entry for lineAddr with one waiter. It reports false
+// (and does nothing) when the file is full. Allocating an already-pending
+// line is a bug: callers must coalesce via AddWaiter.
+func (m *MSHR) Allocate(lineAddr uint64, write bool, waiter func()) bool {
+	if m.Pending(lineAddr) {
+		panic(fmt.Sprintf("cache: MSHR double-allocate for line %#x", lineAddr))
+	}
+	if m.Full() {
+		return false
+	}
+	m.entries[lineAddr] = &mshrEntry{waiters: []func(){waiter}, wantWrite: write}
+	return true
+}
+
+// AddWaiter coalesces a secondary miss onto the pending entry.
+func (m *MSHR) AddWaiter(lineAddr uint64, write bool, waiter func()) {
+	e, ok := m.entries[lineAddr]
+	if !ok {
+		panic(fmt.Sprintf("cache: AddWaiter on non-pending line %#x", lineAddr))
+	}
+	e.waiters = append(e.waiters, waiter)
+	e.wantWrite = e.wantWrite || write
+}
+
+// WantsWrite reports whether the pending entry requires write permission.
+func (m *MSHR) WantsWrite(lineAddr uint64) bool {
+	e, ok := m.entries[lineAddr]
+	return ok && e.wantWrite
+}
+
+// Complete removes the entry and returns its waiters for the caller to run.
+func (m *MSHR) Complete(lineAddr uint64) []func() {
+	e, ok := m.entries[lineAddr]
+	if !ok {
+		panic(fmt.Sprintf("cache: Complete on non-pending line %#x", lineAddr))
+	}
+	delete(m.entries, lineAddr)
+	return e.waiters
+}

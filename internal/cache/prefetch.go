@@ -1,0 +1,91 @@
+package cache
+
+// StridePrefetcher is the per-PC stride prefetcher attached to the L1
+// D-cache (Table 1). Each static load/store PC gets a table entry tracking
+// its last line address and stride; once a stride repeats (confidence
+// threshold), the prefetcher emits up to Degree line addresses ahead of the
+// demand stream.
+type StridePrefetcher struct {
+	entries  []pfEntry
+	degree   int
+	distance int
+
+	issued uint64
+}
+
+type pfEntry struct {
+	pc       uint64
+	lastLine uint64
+	stride   int64
+	conf     int8
+	frontier int64 // furthest line already prefetched (stride direction)
+}
+
+const confThreshold = 2
+
+// NewStridePrefetcher builds a direct-mapped table of tableSize entries that
+// prefetches degree lines at a time, distance strides ahead of the demand
+// access.
+func NewStridePrefetcher(tableSize, degree, distance int) *StridePrefetcher {
+	if tableSize <= 0 {
+		tableSize = 1
+	}
+	return &StridePrefetcher{
+		entries:  make([]pfEntry, tableSize),
+		degree:   degree,
+		distance: distance,
+	}
+}
+
+// Observe feeds a demand access (PC, line address) to the prefetcher and
+// returns the line addresses to prefetch (possibly none).
+func (p *StridePrefetcher) Observe(pc, lineAddr uint64) []uint64 {
+	if p.degree <= 0 {
+		return nil
+	}
+	e := &p.entries[pc%uint64(len(p.entries))]
+	if e.pc != pc {
+		*e = pfEntry{pc: pc, lastLine: lineAddr}
+		return nil
+	}
+	stride := int64(lineAddr) - int64(e.lastLine)
+	if stride == 0 {
+		return nil // same line; no new information
+	}
+	if stride == e.stride {
+		if e.conf < confThreshold {
+			e.conf++
+			if e.conf == confThreshold {
+				e.frontier = int64(lineAddr)
+			}
+		}
+	} else {
+		e.stride = stride
+		e.conf = 1
+	}
+	e.lastLine = lineAddr
+	if e.conf < confThreshold {
+		return nil
+	}
+	// Steady state: cover the window [distance, distance+degree) strides
+	// ahead of the demand stream, never re-issuing covered lines. The
+	// frontier caps lookahead so the prefetcher cannot run away from the
+	// demand stream and thrash the cache.
+	var out []uint64
+	for k := int64(p.distance); k < int64(p.distance+p.degree); k++ {
+		cand := int64(lineAddr) + e.stride*k
+		if e.stride > 0 && cand <= e.frontier {
+			continue
+		}
+		if e.stride < 0 && cand >= e.frontier {
+			continue
+		}
+		e.frontier = cand
+		out = append(out, uint64(cand))
+	}
+	p.issued += uint64(len(out))
+	return out
+}
+
+// Issued returns the total number of prefetch addresses emitted.
+func (p *StridePrefetcher) Issued() uint64 { return p.issued }

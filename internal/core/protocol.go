@@ -1,0 +1,688 @@
+// Package core implements the paper's primary contribution: the coherence
+// protocol that lets guarded (potentially incoherent) memory accesses always
+// reach the valid copy of their data in a hybrid memory system.
+//
+// Hardware structures (paper §3.1, Fig. 4):
+//
+//   - SPMDir (one per core): a CAM tracking the GM base address of every
+//     chunk mapped to the core's SPM. The entry index equals the SPM buffer
+//     number, so no RAM array is needed to recover the SPM address.
+//   - Filter (one per core): a small fully-associative pseudoLRU CAM caching
+//     GM base addresses known NOT to be mapped to any SPM — the fast path
+//     for the overwhelmingly common case.
+//   - FilterDir (distributed across the cache-directory slices): a CAM of
+//     filtered base addresses plus a sharer bit-vector recording which cores
+//     cache each one in their filter.
+//
+// Guarded accesses follow the casuistic of Fig. 5: (a) filter hit → served
+// by the L1; (b) local SPMDir hit → diverted to the local SPM (loads discard
+// the parallel cache access, stores also write the L1); (c) both miss and
+// the FilterDir resolves "not mapped" (directly or via an all-NACK
+// broadcast) → filter updated, buffered cache access used; (d) a remote
+// SPMDir hits during the broadcast → the remote SPM serves the access and
+// replies directly to the requesting core.
+//
+// Address decomposition uses the Base/Offset mask registers programmed by
+// the SetBufSize instruction before each loop: every structure operates on
+// base addresses, exploiting the equal-buffer-size invariant of fork-join
+// parallelism (paper §3.1).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/spm"
+	"repro/internal/stats"
+)
+
+// Served identifies which storage satisfied a guarded access.
+type Served int
+
+const (
+	// ServedCache means the L1/GM path provided the data (Fig. 5a/5c).
+	ServedCache Served = iota
+	// ServedLocalSPM means the access was diverted to the local SPM (5b).
+	ServedLocalSPM
+	// ServedRemoteSPM means a remote SPM served the access (5d).
+	ServedRemoteSPM
+)
+
+func (s Served) String() string {
+	switch s {
+	case ServedCache:
+		return "cache"
+	case ServedLocalSPM:
+		return "local-spm"
+	case ServedRemoteSPM:
+		return "remote-spm"
+	default:
+		return fmt.Sprintf("Served(%d)", int(s))
+	}
+}
+
+// GM abstracts the coherent cache path used by guarded accesses
+// (implemented by coherence.Hierarchy).
+type GM interface {
+	Read(core int, addr, pc uint64, done func())
+	Write(core int, addr, pc uint64, done func())
+}
+
+// RecheckHook is the LSQ ordering re-check of §3.4: invoked when a guarded
+// access hits in the local SPMDir and its effective address changes to an
+// SPM address. The CPU model re-checks ordering against the new address and
+// reports whether a pipeline flush was triggered.
+type RecheckHook func(core int, spmAddr uint64, isStore bool) bool
+
+// message sizes (bytes).
+const (
+	ctrlBytes = 8
+	dataBytes = 72
+)
+
+// Protocol is the chip-wide SPM coherence engine.
+type Protocol struct {
+	eng  *sim.Engine
+	cfg  config.Config
+	mesh *noc.Mesh
+	gm   GM
+	spms []*spm.SPM
+	amap spm.AddressMap
+
+	ideal bool
+
+	// Per-core Base/Offset mask registers (§3.1).
+	bufSize    []int
+	baseMask   []uint64
+	offsetMask []uint64
+
+	spmdirs []*spmDir
+	filters []*filter
+	fdir    []*fdirSlice
+
+	// oracle is the authoritative chunk-mapping table. The real protocol
+	// never reads it to divert accesses (only its CAMs); it backs the
+	// ideal-coherence configuration and invariant checks.
+	oracle map[uint64]oracleEntry
+
+	recheck RecheckHook
+
+	set *stats.Set
+}
+
+type oracleEntry struct {
+	core   int
+	bufIdx int
+}
+
+// spmDir is one core's SPMDir: entry index == buffer number (§3.1).
+type spmDir struct {
+	base  []uint64
+	valid []bool
+}
+
+func newSPMDir(entries int) *spmDir {
+	return &spmDir{base: make([]uint64, entries), valid: make([]bool, entries)}
+}
+
+// lookup CAM-searches for a GM base address.
+func (d *spmDir) lookup(base uint64) (bufIdx int, ok bool) {
+	for i, b := range d.base {
+		if d.valid[i] && b == base {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (d *spmDir) set(bufIdx int, base uint64) {
+	d.base[bufIdx] = base
+	d.valid[bufIdx] = true
+}
+
+// filter is one core's fully-associative pseudoLRU filter CAM.
+type filter struct {
+	base []uint64
+	use  []uint64 // recency stamps (pseudoLRU approximated by LRU here)
+	tick uint64
+}
+
+func newFilter(entries int) *filter {
+	return &filter{base: make([]uint64, entries), use: make([]uint64, entries)}
+}
+
+// lookup searches for base, refreshing recency on hit.
+func (f *filter) lookup(base uint64) bool {
+	for i, b := range f.base {
+		if f.use[i] != 0 && b == base {
+			f.tick++
+			f.use[i] = f.tick
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds base, evicting the least recent entry. It returns the evicted
+// base and whether an eviction occurred.
+func (f *filter) insert(base uint64) (evicted uint64, wasValid bool) {
+	victim, oldest := 0, ^uint64(0)
+	for i := range f.base {
+		if f.use[i] == 0 {
+			victim, oldest = i, 0
+			break
+		}
+		if f.use[i] < oldest {
+			victim, oldest = i, f.use[i]
+		}
+	}
+	evicted, wasValid = f.base[victim], f.use[victim] != 0 && oldest != 0
+	f.tick++
+	f.base[victim] = base
+	f.use[victim] = f.tick
+	return evicted, wasValid
+}
+
+// invalidate removes base if present.
+func (f *filter) invalidate(base uint64) bool {
+	for i, b := range f.base {
+		if f.use[i] != 0 && b == base {
+			f.use[i] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// valid counts live entries (tests).
+func (f *filter) validCount() int {
+	n := 0
+	for _, u := range f.use {
+		if u != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// fdirSlice is one distributed slice of the FilterDir: a CAM of base
+// addresses with sharer bit-vectors, LRU-replaced.
+type fdirSlice struct {
+	node    int
+	base    []uint64
+	sharers []uint64
+	use     []uint64
+	tick    uint64
+	busy    map[uint64][]func() // per-base transaction serialization
+}
+
+func newFDirSlice(node, entries int) *fdirSlice {
+	return &fdirSlice{
+		node:    node,
+		base:    make([]uint64, entries),
+		sharers: make([]uint64, entries),
+		use:     make([]uint64, entries),
+		busy:    make(map[uint64][]func()),
+	}
+}
+
+func (s *fdirSlice) find(base uint64) int {
+	for i, b := range s.base {
+		if s.use[i] != 0 && b == base {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *fdirSlice) touch(i int) {
+	s.tick++
+	s.use[i] = s.tick
+}
+
+// insert allocates an entry for base, returning a victim (base + sharers)
+// when a valid entry had to be displaced.
+func (s *fdirSlice) insert(base uint64, sharerBit uint64) (victimBase, victimSharers uint64, evicted bool) {
+	victim, oldest := 0, ^uint64(0)
+	for i := range s.base {
+		if s.use[i] == 0 {
+			victim, oldest = i, 0
+			break
+		}
+		if s.use[i] < oldest {
+			victim, oldest = i, s.use[i]
+		}
+	}
+	if oldest != 0 {
+		victimBase, victimSharers, evicted = s.base[victim], s.sharers[victim], true
+	}
+	s.tick++
+	s.base[victim] = base
+	s.sharers[victim] = sharerBit
+	s.use[victim] = s.tick
+	return victimBase, victimSharers, evicted
+}
+
+func (s *fdirSlice) remove(i int) { s.use[i] = 0; s.sharers[i] = 0 }
+
+// New builds the protocol engine. spms must hold one SPM per core; amap is
+// the chip's SPM address map. ideal selects the oracle coherence used as
+// the Fig. 7 baseline.
+func New(eng *sim.Engine, cfg config.Config, mesh *noc.Mesh, gm GM, spms []*spm.SPM, amap spm.AddressMap, ideal bool) *Protocol {
+	if len(spms) != cfg.Cores {
+		panic(fmt.Sprintf("core: %d SPMs for %d cores", len(spms), cfg.Cores))
+	}
+	p := &Protocol{
+		eng:        eng,
+		cfg:        cfg,
+		mesh:       mesh,
+		gm:         gm,
+		spms:       spms,
+		amap:       amap,
+		ideal:      ideal,
+		bufSize:    make([]int, cfg.Cores),
+		baseMask:   make([]uint64, cfg.Cores),
+		offsetMask: make([]uint64, cfg.Cores),
+		oracle:     make(map[uint64]oracleEntry),
+		set:        stats.NewSet("spmcoh"),
+	}
+	perSlice := cfg.FilterDirEntries / cfg.Cores
+	if perSlice <= 0 {
+		perSlice = 1
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		p.spmdirs = append(p.spmdirs, newSPMDir(cfg.SPMDirEntries))
+		p.filters = append(p.filters, newFilter(cfg.FilterEntries))
+		p.fdir = append(p.fdir, newFDirSlice(i, perSlice))
+		p.SetBufSize(i, cfg.SPMSize) // sane default: one buffer
+	}
+	return p
+}
+
+// SetRecheckHook installs the LSQ re-check callback (§3.4).
+func (p *Protocol) SetRecheckHook(h RecheckHook) { p.recheck = h }
+
+// Stats returns the protocol counter set.
+func (p *Protocol) Stats() *stats.Set { return p.set }
+
+// SetBufSize programs core's Base/Offset mask registers for buffer size
+// bytes (a power of two). Emitted by the runtime before each loop (§3.1).
+func (p *Protocol) SetBufSize(core, bytes int) {
+	if bytes <= 0 || bytes&(bytes-1) != 0 {
+		panic(fmt.Sprintf("core: buffer size %d not a power of two", bytes))
+	}
+	if n := p.cfg.SPMSize / bytes; n > p.cfg.SPMDirEntries {
+		panic(fmt.Sprintf("core: %d buffers exceed %d SPMDir entries", n, p.cfg.SPMDirEntries))
+	}
+	p.bufSize[core] = bytes
+	p.offsetMask[core] = uint64(bytes - 1)
+	p.baseMask[core] = ^p.offsetMask[core]
+}
+
+// BufSize returns core's configured buffer size.
+func (p *Protocol) BufSize(core int) int { return p.bufSize[core] }
+
+// fdirHome returns the FilterDir slice owning a base address. Bases are
+// buffer-size aligned, so interleave on the chunk number (fork-join code
+// uses one buffer size chip-wide, §3.1).
+func (p *Protocol) fdirHome(base uint64) *fdirSlice {
+	return p.fdir[(base/uint64(p.bufSize[0]))%uint64(len(p.fdir))]
+}
+
+// ---------------------------------------------------------------------------
+// Tracking SPM contents (paper §3.3)
+
+// NotifyMap implements dma.MapNotifier: a dma-get maps the chunk at gmAddr
+// into core's SPM buffer at spmAddr. The SPMDir is updated and every filter
+// caching the base address is invalidated through the FilterDir (Fig. 6a).
+func (p *Protocol) NotifyMap(core int, gmAddr, spmAddr uint64, bytes int) {
+	base := gmAddr & p.baseMask[core]
+	bufIdx := int(p.amap.Offset(spmAddr)) / p.bufSize[core]
+
+	// Reusing a buffer unmaps its previous chunk.
+	d := p.spmdirs[core]
+	if d.valid[bufIdx] {
+		old := d.base[bufIdx]
+		if e, ok := p.oracle[old]; ok && e.core == core && e.bufIdx == bufIdx {
+			delete(p.oracle, old)
+		}
+	}
+	// Array sections are private to one thread (fork-join, §2.2), so a
+	// chunk lives in at most one SPM. Re-mapping by another core migrates
+	// it: the previous mapper's SPMDir entry is cleared.
+	if prev, ok := p.oracle[base]; ok && prev.core != core {
+		pd := p.spmdirs[prev.core]
+		if pd.valid[prev.bufIdx] && pd.base[prev.bufIdx] == base {
+			pd.valid[prev.bufIdx] = false
+		}
+	}
+	d.set(bufIdx, base)
+	p.oracle[base] = oracleEntry{core: core, bufIdx: bufIdx}
+	p.set.Inc("spmdir.updates")
+
+	if p.ideal {
+		return // oracle coherence: no structures to maintain
+	}
+
+	// Fig. 6a: invalidation message to the FilterDir home, which fans out
+	// to every core in the sharer list.
+	home := p.fdirHome(base)
+	p.mesh.Send(core, home.node, ctrlBytes, noc.CohProt, func() {
+		p.set.Inc("fdir.lookups")
+		i := home.find(base)
+		if i < 0 {
+			return // nobody filters it; nothing to do
+		}
+		sharers := home.sharers[i]
+		home.remove(i)
+		p.invalidateFilters(home.node, base, sharers)
+	})
+}
+
+// invalidateFilters sends filter-invalidation messages from the FilterDir
+// node to every sharer core.
+func (p *Protocol) invalidateFilters(fromNode int, base uint64, sharers uint64) {
+	for c := 0; c < p.cfg.Cores; c++ {
+		if sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		c := c
+		p.mesh.Send(fromNode, c, ctrlBytes, noc.CohProt, func() {
+			if p.filters[c].invalidate(base) {
+				p.set.Inc("filter.invalidations")
+			}
+		})
+	}
+}
+
+// Mapped reports where a GM base address is currently mapped (oracle view;
+// used by tests, the ideal protocol, and assertions).
+func (p *Protocol) Mapped(base uint64) (core int, ok bool) {
+	e, ok := p.oracle[base]
+	return e.core, ok
+}
+
+// ---------------------------------------------------------------------------
+// Guarded accesses (paper §3.2, Fig. 5)
+
+// GuardedAccess executes a potentially incoherent access for core at
+// GM virtual address addr. done receives which storage served it.
+func (p *Protocol) GuardedAccess(core int, addr, pc uint64, isStore bool, done func(Served)) {
+	p.set.Inc("guarded.accesses")
+	base := addr & p.baseMask[core]
+	off := addr & p.offsetMask[core]
+
+	if p.ideal {
+		p.idealAccess(core, addr, pc, base, off, isStore, done)
+		return
+	}
+
+	// The filter and SPMDir CAMs are probed in parallel with the normal
+	// TLB+L1 path (their latency hides behind it).
+	p.set.Inc("spmdir.lookups")
+	p.set.Inc("filter.lookups")
+
+	if bufIdx, ok := p.spmdirs[core].lookup(base); ok {
+		// Fig. 5b — mapped to the local SPM.
+		p.set.Inc("spmdir.hits")
+		p.localSPMAccess(core, bufIdx, off, pc, addr, isStore, done)
+		return
+	}
+
+	if p.filters[core].lookup(base) {
+		// Fig. 5a — known not mapped anywhere: the L1 serves it.
+		p.set.Inc("filter.hits")
+		p.cacheAccess(core, addr, pc, isStore, func() { done(ServedCache) })
+		return
+	}
+
+	// Fig. 5c/5d — both CAMs missed: ask the FilterDir. The cache access
+	// proceeds in parallel and is buffered in the MSHR (loads) until the
+	// resolution arrives.
+	p.set.Inc("filter.misses")
+	cacheDone := false
+	resolved := false
+	completed := false
+	var resolution Served
+	remoteDataArrived := false
+
+	finishIfReady := func() {
+		if !resolved || completed {
+			return
+		}
+		switch resolution {
+		case ServedCache:
+			if cacheDone {
+				completed = true
+				done(ServedCache)
+			}
+		case ServedRemoteSPM:
+			if remoteDataArrived && (cacheDone || !isStore) {
+				// Loads discard the buffered cache access; its
+				// completion is not waited on. Stores also
+				// write the L1, so they retire when both done.
+				completed = true
+				done(ServedRemoteSPM)
+			}
+		}
+	}
+
+	p.cacheAccess(core, addr, pc, isStore, func() {
+		cacheDone = true
+		finishIfReady()
+	})
+
+	home := p.fdirHome(base)
+	p.mesh.Send(core, home.node, ctrlBytes, noc.CohProt, func() {
+		p.fdirResolve(home, core, base, off, pc, isStore,
+			func(mapped bool) { // resolution from FilterDir
+				resolved = true
+				if mapped {
+					resolution = ServedRemoteSPM
+				} else {
+					resolution = ServedCache
+					p.filterInsert(core, base)
+				}
+				finishIfReady()
+			},
+			func() { // data/ack from the remote SPM (Fig. 5d)
+				remoteDataArrived = true
+				resolved = true
+				resolution = ServedRemoteSPM
+				finishIfReady()
+			})
+	})
+}
+
+// localSPMAccess is Fig. 5b: divert to the local SPM. The parallel L1 access
+// result is discarded for loads; guarded stores always also write the L1
+// (they may alias a read-only SPM buffer that will never be written back).
+func (p *Protocol) localSPMAccess(core, bufIdx int, off, pc, gmAddr uint64, isStore bool, done func(Served)) {
+	spmAddr := p.amap.AddrFor(core, uint64(bufIdx)*uint64(p.bufSize[core])+off)
+	if p.recheck != nil && p.recheck(core, spmAddr, isStore) {
+		p.set.Inc("lsq.flushes")
+	}
+	p.set.Inc("guarded.l1_probe_discarded")
+	if isStore {
+		p.cacheAccess(core, gmAddr, pc, true, func() {})
+	}
+	p.spms[core].Access(isStore, func() { done(ServedLocalSPM) })
+}
+
+// cacheAccess issues the normal coherent GM access for a guarded
+// instruction.
+func (p *Protocol) cacheAccess(core int, addr, pc uint64, isStore bool, done func()) {
+	if isStore {
+		p.gm.Write(core, addr, pc, done)
+	} else {
+		p.gm.Read(core, addr, pc, done)
+	}
+}
+
+// filterInsert caches "base is unmapped" in core's filter, notifying the
+// FilterDir when a valid entry is displaced (§3.3).
+func (p *Protocol) filterInsert(core int, base uint64) {
+	evicted, wasValid := p.filters[core].insert(base)
+	p.set.Inc("filter.inserts")
+	if !wasValid {
+		return
+	}
+	p.set.Inc("filter.evictions")
+	home := p.fdirHome(evicted)
+	p.mesh.Send(core, home.node, ctrlBytes, noc.CohProt, func() {
+		if i := home.find(evicted); i >= 0 {
+			home.sharers[i] &^= 1 << uint(core)
+		}
+	})
+}
+
+// fdirResolve runs the FilterDir side of a filter miss (Fig. 6b). resolved
+// is invoked at the requesting core with whether the base is mapped to some
+// SPM; remoteServed fires when a remote SPM has served the access (5d).
+func (p *Protocol) fdirResolve(home *fdirSlice, req int, base, off, pc uint64, isStore bool,
+	resolved func(bool), remoteServed func()) {
+
+	// Serialize transactions on the same base at the home slice.
+	if q, busy := home.busy[base]; busy {
+		home.busy[base] = append(q, func() {
+			p.fdirResolve(home, req, base, off, pc, isStore, resolved, remoteServed)
+		})
+		return
+	}
+	home.busy[base] = nil
+	releaseBusy := func() {
+		q := home.busy[base]
+		delete(home.busy, base)
+		// Deferred transactions re-enter fdirResolve and re-serialize.
+		for _, fn := range q {
+			p.eng.Schedule(0, fn)
+		}
+	}
+
+	p.set.Inc("fdir.lookups")
+	if i := home.find(base); i >= 0 {
+		// FilterDir hit: not mapped to any SPM. Add sharer, ACK.
+		home.sharers[i] |= 1 << uint(req)
+		home.touch(i)
+		p.mesh.Send(home.node, req, ctrlBytes, noc.CohProt, func() { resolved(false) })
+		releaseBusy()
+		return
+	}
+
+	// FilterDir miss: broadcast to every core's SPMDir (Fig. 6b step 3).
+	p.set.Inc("fdir.broadcasts")
+	pending := p.cfg.Cores
+	anyMapped := false
+	collect := func(mapped bool) {
+		if mapped {
+			anyMapped = true
+		}
+		pending--
+		if pending > 0 {
+			return
+		}
+		if anyMapped {
+			// Mapped to a remote SPM: NACK the requester (no
+			// filter update); the remote core serves the access.
+			p.mesh.Send(home.node, req, ctrlBytes, noc.CohProt, func() { resolved(true) })
+			releaseBusy()
+			return
+		}
+		// Nobody maps it: insert into the FilterDir with the
+		// requester as first sharer; evictions invalidate filters.
+		vb, vs, evicted := home.insert(base, 1<<uint(req))
+		if evicted {
+			p.set.Inc("fdir.evictions")
+			p.invalidateFilters(home.node, vb, vs)
+		}
+		p.mesh.Send(home.node, req, ctrlBytes, noc.CohProt, func() { resolved(false) })
+		releaseBusy()
+	}
+
+	for c := 0; c < p.cfg.Cores; c++ {
+		c := c
+		p.mesh.Send(home.node, c, ctrlBytes, noc.CohProt, func() {
+			p.set.Inc("spmdir.lookups")
+			_, ok := p.spmdirs[c].lookup(base)
+			if ok {
+				// Normally a remote core; c == req can happen
+				// only when a dma-get mapped the chunk locally
+				// while this access was in flight — the local
+				// SPM then serves it through the same path.
+				p.set.Inc("spmdir.remote_hits")
+				// Fig. 5d: this SPM serves the access directly
+				// and responds to the requesting core.
+				p.spms[c].RemoteAccess(isStore, func() {
+					size := dataBytes
+					if isStore {
+						size = ctrlBytes // store ack
+					}
+					p.mesh.Send(c, req, size, noc.CohProt, remoteServed)
+				})
+				// ...and ACKs "mapped" to the FilterDir.
+				p.mesh.Send(c, home.node, ctrlBytes, noc.CohProt, func() { collect(true) })
+				return
+			}
+			p.mesh.Send(c, home.node, ctrlBytes, noc.CohProt, func() { collect(ok) })
+		})
+	}
+}
+
+// idealAccess resolves a guarded access with oracle knowledge: no CAMs, no
+// protocol traffic (paper §5.3's "ideal coherence" baseline). Data that
+// physically lives in a remote SPM still has to cross the NoC.
+func (p *Protocol) idealAccess(core int, addr, pc, base, off uint64, isStore bool, done func(Served)) {
+	e, ok := p.oracle[base]
+	switch {
+	case !ok:
+		p.cacheAccess(core, addr, pc, isStore, func() { done(ServedCache) })
+	case e.core == core:
+		if p.recheck != nil && p.recheck(core, p.amap.AddrFor(core, uint64(e.bufIdx)*uint64(p.bufSize[core])+off), isStore) {
+			p.set.Inc("lsq.flushes")
+		}
+		if isStore {
+			p.cacheAccess(core, addr, pc, true, func() {})
+		}
+		p.spms[core].Access(isStore, func() { done(ServedLocalSPM) })
+	default:
+		remote := e.core
+		p.mesh.Send(core, remote, ctrlBytes, noc.CohProt, func() {
+			p.spms[remote].RemoteAccess(isStore, func() {
+				size := dataBytes
+				if isStore {
+					size = ctrlBytes
+				}
+				p.mesh.Send(remote, core, size, noc.CohProt, func() { done(ServedRemoteSPM) })
+			})
+		})
+		if isStore {
+			p.cacheAccess(core, addr, pc, true, func() {})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Derived statistics
+
+// FilterHitRatio returns hits/(hits+misses) over filter lookups that reached
+// the filter (i.e. SPMDir misses) — the quantity of paper Fig. 8. Returns 1
+// when the filter was never exercised (e.g. SP has no guarded accesses).
+func (p *Protocol) FilterHitRatio() float64 {
+	h := p.set.Get("filter.hits")
+	m := p.set.Get("filter.misses")
+	if h+m == 0 {
+		return 1
+	}
+	return float64(h) / float64(h+m)
+}
+
+// FilterValidCount returns live entries in core's filter (tests).
+func (p *Protocol) FilterValidCount(core int) int { return p.filters[core].validCount() }
+
+// SPMDirEntry exposes core's SPMDir entry bufIdx (tests).
+func (p *Protocol) SPMDirEntry(core, bufIdx int) (base uint64, valid bool) {
+	d := p.spmdirs[core]
+	return d.base[bufIdx], d.valid[bufIdx]
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/spm"
+)
+
+// rig assembles a 4-core hybrid system: mesh + DRAM + coherent hierarchy +
+// SPMs + protocol.
+type rig struct {
+	eng  *sim.Engine
+	mesh *noc.Mesh
+	hier *coherence.Hierarchy
+	spms []*spm.SPM
+	amap spm.AddressMap
+	p    *Protocol
+	cfg  config.Config
+}
+
+func newRig(t testing.TB, ideal bool) *rig {
+	cfg := config.SmallTest()
+	if ideal {
+		cfg.System = config.HybridIdeal
+	}
+	eng := sim.NewEngine()
+	mesh := noc.New(eng, cfg.MeshWidth, cfg.MeshHeight, cfg.FlitBytes, cfg.LinkLatency, cfg.RouterLatency)
+	dram := mem.NewSystem(eng, []int{0}, cfg.LineSize, cfg.MemLatency, cfg.MemCyclesPerLn)
+	hier := coherence.New(eng, cfg, mesh, dram)
+	var spms []*spm.SPM
+	for i := 0; i < cfg.Cores; i++ {
+		spms = append(spms, spm.New(eng, cfg.SPMLatency))
+	}
+	amap := spm.NewAddressMap(cfg.Cores, cfg.SPMSize)
+	p := New(eng, cfg, mesh, hier, spms, amap, ideal)
+	return &rig{eng: eng, mesh: mesh, hier: hier, spms: spms, amap: amap, p: p, cfg: cfg}
+}
+
+const bufSz = 1024
+
+// prep configures 1KB buffers on every core.
+func (r *rig) prep() {
+	for c := 0; c < r.cfg.Cores; c++ {
+		r.p.SetBufSize(c, bufSz)
+	}
+}
+
+// mapChunk simulates the dma-get mapping gmBase into core's buffer bufIdx.
+func (r *rig) mapChunk(core int, gmBase uint64, bufIdx int) {
+	r.p.NotifyMap(core, gmBase, r.amap.AddrFor(core, uint64(bufIdx)*bufSz), bufSz)
+	r.eng.Run()
+}
+
+func TestSetBufSizeMasks(t *testing.T) {
+	r := newRig(t, false)
+	r.p.SetBufSize(0, 512)
+	if r.p.BufSize(0) != 512 {
+		t.Fatalf("BufSize = %d", r.p.BufSize(0))
+	}
+}
+
+func TestSetBufSizeRejectsNonPow2(t *testing.T) {
+	r := newRig(t, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two buffer size accepted")
+		}
+	}()
+	r.p.SetBufSize(0, 768)
+}
+
+func TestSetBufSizeRejectsTooManyBuffers(t *testing.T) {
+	r := newRig(t, false) // SmallTest: 4KB SPM, 8 SPMDir entries
+	defer func() {
+		if recover() == nil {
+			t.Fatal("buffer count beyond SPMDir entries accepted")
+		}
+	}()
+	r.p.SetBufSize(0, 256) // 16 buffers > 8 entries
+}
+
+func TestNotifyMapUpdatesSPMDir(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	r.mapChunk(1, 0x10000, 2)
+	base, valid := r.p.SPMDirEntry(1, 2)
+	if !valid || base != 0x10000 {
+		t.Fatalf("SPMDir[1][2] = %#x valid=%v", base, valid)
+	}
+	if c, ok := r.p.Mapped(0x10000); !ok || c != 1 {
+		t.Fatalf("oracle: core=%d ok=%v", c, ok)
+	}
+}
+
+func TestBufferReuseUnmapsOldChunk(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	r.mapChunk(0, 0x10000, 0)
+	r.mapChunk(0, 0x20000, 0) // reuse buffer 0
+	if _, ok := r.p.Mapped(0x10000); ok {
+		t.Fatal("old chunk still mapped after buffer reuse")
+	}
+	if c, ok := r.p.Mapped(0x20000); !ok || c != 0 {
+		t.Fatalf("new chunk: core=%d ok=%v", c, ok)
+	}
+}
+
+func TestCaseA_FilterHitServedByCache(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	// First access warms the filter (case c), second is the fast path.
+	var served []Served
+	r.p.GuardedAccess(0, 0x50000, 0x40, false, func(s Served) {
+		served = append(served, s)
+		r.p.GuardedAccess(0, 0x50008, 0x44, false, func(s Served) { served = append(served, s) })
+	})
+	r.eng.Run()
+	if len(served) != 2 || served[0] != ServedCache || served[1] != ServedCache {
+		t.Fatalf("served = %v", served)
+	}
+	st := r.p.Stats()
+	if st.Get("filter.misses") != 1 || st.Get("filter.hits") != 1 {
+		t.Fatalf("filter hits=%d misses=%d", st.Get("filter.hits"), st.Get("filter.misses"))
+	}
+}
+
+func TestCaseB_LocalSPMDirHit(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	r.mapChunk(0, 0x10000, 0)
+	var got Served
+	r.p.GuardedAccess(0, 0x10040, 0x40, false, func(s Served) { got = s })
+	r.eng.Run()
+	if got != ServedLocalSPM {
+		t.Fatalf("served = %v, want local-spm", got)
+	}
+	if r.spms[0].Reads() != 1 {
+		t.Fatalf("spm reads = %d", r.spms[0].Reads())
+	}
+	if r.p.Stats().Get("spmdir.hits") != 1 {
+		t.Fatal("SPMDir hit not counted")
+	}
+}
+
+func TestCaseB_GuardedStoreAlsoWritesL1(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	r.mapChunk(0, 0x10000, 0)
+	var got Served
+	r.p.GuardedAccess(0, 0x10040, 0x40, true, func(s Served) { got = s })
+	r.eng.Run()
+	if got != ServedLocalSPM {
+		t.Fatalf("served = %v", got)
+	}
+	if r.spms[0].Writes() != 1 {
+		t.Fatalf("spm writes = %d", r.spms[0].Writes())
+	}
+	// The L1 write must have gone through the coherent path.
+	if r.hier.L1State(0, r.hier.LineAddr(0x10040)) != coherence.StateM {
+		t.Fatal("guarded store did not write the L1 in M state")
+	}
+}
+
+func TestCaseC_FilterMissNotMapped(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	var got Served
+	r.p.GuardedAccess(2, 0x60000, 0x40, false, func(s Served) { got = s })
+	r.eng.Run()
+	if got != ServedCache {
+		t.Fatalf("served = %v, want cache", got)
+	}
+	st := r.p.Stats()
+	if st.Get("fdir.broadcasts") != 1 {
+		t.Fatalf("broadcasts = %d, want 1 (cold FilterDir must broadcast)", st.Get("fdir.broadcasts"))
+	}
+	if st.Get("filter.inserts") != 1 {
+		t.Fatal("filter not updated after all-NACK resolution")
+	}
+	if r.p.FilterValidCount(2) != 1 {
+		t.Fatalf("filter entries = %d", r.p.FilterValidCount(2))
+	}
+}
+
+func TestCaseC_SecondCoreHitsFilterDir(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	n := 0
+	r.p.GuardedAccess(0, 0x60000, 0x40, false, func(Served) {
+		n++
+		// Same base from another core: FilterDir hit, no broadcast.
+		r.p.GuardedAccess(1, 0x60010, 0x44, false, func(Served) { n++ })
+	})
+	r.eng.Run()
+	if n != 2 {
+		t.Fatalf("completed = %d", n)
+	}
+	st := r.p.Stats()
+	if st.Get("fdir.broadcasts") != 1 {
+		t.Fatalf("broadcasts = %d, want 1 (second miss resolves at FilterDir)", st.Get("fdir.broadcasts"))
+	}
+}
+
+func TestCaseD_RemoteSPMServes(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	r.mapChunk(3, 0x10000, 0)
+	var got Served
+	r.p.GuardedAccess(0, 0x10080, 0x40, false, func(s Served) { got = s })
+	r.eng.Run()
+	if got != ServedRemoteSPM {
+		t.Fatalf("served = %v, want remote-spm", got)
+	}
+	if r.spms[3].RemoteReads() != 1 {
+		t.Fatalf("remote SPM reads = %d", r.spms[3].RemoteReads())
+	}
+	// The requester's filter must NOT cache a mapped base.
+	if r.p.FilterValidCount(0) != 0 {
+		t.Fatal("filter polluted with a mapped base")
+	}
+	if r.p.Stats().Get("spmdir.remote_hits") != 1 {
+		t.Fatal("remote SPMDir hit not counted")
+	}
+}
+
+func TestCaseD_RemoteStoreAcked(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	r.mapChunk(2, 0x30000, 1)
+	var got Served
+	r.p.GuardedAccess(1, 0x30004, 0x40, true, func(s Served) { got = s })
+	r.eng.Run()
+	if got != ServedRemoteSPM {
+		t.Fatalf("served = %v", got)
+	}
+	if r.spms[2].RemoteWrites() != 1 {
+		t.Fatalf("remote writes = %d", r.spms[2].RemoteWrites())
+	}
+}
+
+func TestFilterInvalidationOnMap(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	// Warm core 0's filter with base 0x70000 (case c).
+	done := false
+	r.p.GuardedAccess(0, 0x70000, 0x40, false, func(Served) { done = true })
+	r.eng.Run()
+	if !done || r.p.FilterValidCount(0) != 1 {
+		t.Fatalf("warmup failed: done=%v entries=%d", done, r.p.FilterValidCount(0))
+	}
+	// Core 1 maps that base: core 0's filter entry must be invalidated.
+	r.mapChunk(1, 0x70000, 0)
+	if r.p.FilterValidCount(0) != 0 {
+		t.Fatal("filter entry survived a mapping dma-get (stale filter!)")
+	}
+	if r.p.Stats().Get("filter.invalidations") != 1 {
+		t.Fatalf("filter.invalidations = %d", r.p.Stats().Get("filter.invalidations"))
+	}
+	// And the access must now be diverted to the remote SPM.
+	var got Served
+	r.p.GuardedAccess(0, 0x70000, 0x44, false, func(s Served) { got = s })
+	r.eng.Run()
+	if got != ServedRemoteSPM {
+		t.Fatalf("post-map access served by %v, want remote-spm", got)
+	}
+}
+
+func TestFilterEvictionNotifiesFilterDir(t *testing.T) {
+	r := newRig(t, false) // SmallTest: 8 filter entries
+	r.prep()
+	// Touch 9 distinct unmapped bases from core 0 to overflow its filter.
+	var issue func(i int)
+	issue = func(i int) {
+		if i == 9 {
+			return
+		}
+		r.p.GuardedAccess(0, uint64(0x100000+i*bufSz), 0x40, false, func(Served) { issue(i + 1) })
+	}
+	issue(0)
+	r.eng.Run()
+	st := r.p.Stats()
+	if st.Get("filter.evictions") != 1 {
+		t.Fatalf("filter.evictions = %d, want 1", st.Get("filter.evictions"))
+	}
+	if r.p.FilterValidCount(0) != 8 {
+		t.Fatalf("filter entries = %d, want 8", r.p.FilterValidCount(0))
+	}
+}
+
+func TestFilterDirEvictionInvalidatesSharers(t *testing.T) {
+	r := newRig(t, false) // SmallTest: 64/4 = 16 FilterDir entries per slice
+	r.prep()
+	// Fill one FilterDir slice: bases hashing to slice 0 are chunk numbers
+	// ≡ 0 mod 4. Touch 17 of them from core 1 (filter holds only 8, so
+	// filter evictions also occur; FilterDir eviction must fire too).
+	var issue func(i int)
+	issue = func(i int) {
+		if i == 17 {
+			return
+		}
+		base := uint64((i*4 + 4) * bufSz) // chunk numbers 4,8,12,... → slice 0
+		r.p.GuardedAccess(1, base, 0x40, false, func(Served) { issue(i + 1) })
+	}
+	issue(0)
+	r.eng.Run()
+	if got := r.p.Stats().Get("fdir.evictions"); got == 0 {
+		t.Fatal("FilterDir never evicted despite overflow")
+	}
+}
+
+func TestLSQRecheckHookFires(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	r.mapChunk(0, 0x10000, 0)
+	var hookAddr uint64
+	var hookStore bool
+	r.p.SetRecheckHook(func(core int, spmAddr uint64, isStore bool) bool {
+		hookAddr, hookStore = spmAddr, isStore
+		return true // pretend a violation was found
+	})
+	r.p.GuardedAccess(0, 0x10040, 0x40, true, func(Served) {})
+	r.eng.Run()
+	want := r.amap.AddrFor(0, 0x40)
+	if hookAddr != want {
+		t.Fatalf("recheck addr = %#x, want %#x", hookAddr, want)
+	}
+	if !hookStore {
+		t.Fatal("recheck isStore lost")
+	}
+	if r.p.Stats().Get("lsq.flushes") != 1 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestIdealCoherenceNoProtocolTraffic(t *testing.T) {
+	r := newRig(t, true)
+	r.prep()
+	r.mapChunk(0, 0x10000, 0)
+	var local, cached Served
+	r.p.GuardedAccess(0, 0x10040, 0x40, false, func(s Served) {
+		local = s
+		r.p.GuardedAccess(0, 0x90000, 0x44, false, func(s Served) { cached = s })
+	})
+	r.eng.Run()
+	if local != ServedLocalSPM || cached != ServedCache {
+		t.Fatalf("served = %v %v", local, cached)
+	}
+	if got := r.mesh.Packets(noc.CohProt); got != 0 {
+		t.Fatalf("ideal coherence sent %d CohProt packets for local/unmapped accesses", got)
+	}
+	st := r.p.Stats()
+	if st.Get("filter.lookups") != 0 || st.Get("fdir.lookups") != 0 {
+		t.Fatal("ideal coherence exercised the CAMs")
+	}
+}
+
+func TestIdealRemoteAccessStillMovesData(t *testing.T) {
+	r := newRig(t, true)
+	r.prep()
+	r.mapChunk(2, 0x30000, 0)
+	var got Served
+	r.p.GuardedAccess(0, 0x30000, 0x40, false, func(s Served) { got = s })
+	r.eng.Run()
+	if got != ServedRemoteSPM {
+		t.Fatalf("served = %v", got)
+	}
+	if r.spms[2].RemoteReads() != 1 {
+		t.Fatal("ideal remote access did not touch the remote SPM")
+	}
+}
+
+func TestFilterHitRatio(t *testing.T) {
+	r := newRig(t, false)
+	r.prep()
+	if r.p.FilterHitRatio() != 1 {
+		t.Fatal("unexercised filter should report ratio 1")
+	}
+	n := 0
+	r.p.GuardedAccess(0, 0x50000, 0x40, false, func(Served) {
+		n++
+		var rep func(i int)
+		rep = func(i int) {
+			if i == 3 {
+				return
+			}
+			r.p.GuardedAccess(0, 0x50000+uint64(8*i), 0x44, false, func(Served) { n++; rep(i + 1) })
+		}
+		rep(0)
+	})
+	r.eng.Run()
+	if n != 4 {
+		t.Fatalf("completed = %d", n)
+	}
+	if got := r.p.FilterHitRatio(); got != 0.75 {
+		t.Fatalf("hit ratio = %v, want 0.75 (1 miss, 3 hits)", got)
+	}
+}
+
+// Property: a guarded access is always served by the storage the oracle says
+// holds the valid copy, under random mapping/access interleavings.
+func TestValidCopyProperty(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		r := newRig(t, false)
+		r.prep()
+		okAll := true
+		var step func(i int)
+		step = func(i int) {
+			if i >= len(ops) {
+				return
+			}
+			op := ops[i]
+			core := int(op) % 4
+			chunk := uint64(op>>2)%6 + 1
+			base := chunk * bufSz
+			if op&0x8000 != 0 {
+				// Map the chunk into this core's buffer (chunk%2).
+				r.p.NotifyMap(core, base, r.amap.AddrFor(core, uint64(chunk%2)*bufSz), bufSz)
+				r.eng.Schedule(50, func() { step(i + 1) })
+				return
+			}
+			isStore := op&0x4000 != 0
+			r.p.GuardedAccess(core, base+uint64(op%bufSz&^7), uint64(op), isStore, func(s Served) {
+				mc, mapped := r.p.Mapped(base)
+				var want Served
+				switch {
+				case !mapped:
+					want = ServedCache
+				case mc == core:
+					want = ServedLocalSPM
+				default:
+					want = ServedRemoteSPM
+				}
+				// The mapping may have changed while the access
+				// was in flight; accept the answer if it matches
+				// either the current or a cache fallback rule.
+				if s != want && !(s == ServedCache && !mapped) {
+					okAll = false
+				}
+				step(i + 1)
+			})
+		}
+		step(0)
+		r.eng.Run()
+		return okAll
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every guarded access completes exactly once, whatever the mix.
+func TestGuardedCompletionProperty(t *testing.T) {
+	prop := func(ops []uint16, ideal bool) bool {
+		r := newRig(t, ideal)
+		r.prep()
+		want, got := 0, 0
+		for _, op := range ops {
+			core := int(op) % 4
+			base := (uint64(op>>2)%8 + 1) * bufSz
+			if op&0x8000 != 0 {
+				r.p.NotifyMap(core, base, r.amap.AddrFor(core, uint64(op>>3%4)*bufSz), bufSz)
+				continue
+			}
+			want++
+			r.p.GuardedAccess(core, base+uint64(op&0x3F8), uint64(op), op&0x4000 != 0,
+				func(Served) { got++ })
+		}
+		r.eng.Run()
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package cpu
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Cluster drives all cores of the machine through one shared barrier.
+type Cluster struct {
+	eng     *sim.Engine
+	cores   []*Core
+	barrier *Barrier
+	done    int
+}
+
+// NewCluster builds one core per program using the machine configuration.
+func NewCluster(eng *sim.Engine, cfg config.Config, ops Ops, programs []isa.Program) *Cluster {
+	cl := &Cluster{eng: eng, barrier: NewBarrier(eng, len(programs))}
+	p := Params{
+		IssueWidth:    cfg.IssueWidth,
+		PipelineDepth: cfg.PipelineDepth,
+		LQEntries:     cfg.LQEntries,
+		SQEntries:     cfg.SQEntries,
+		MLP:           cfg.CoreMLP,
+		LineSize:      cfg.LineSize,
+	}
+	for i, prog := range programs {
+		cl.cores = append(cl.cores, NewCore(eng, i, p, ops, prog, cl.barrier, func() { cl.done++ }))
+	}
+	return cl
+}
+
+// Start launches every core.
+func (cl *Cluster) Start() {
+	for _, c := range cl.cores {
+		c.Start()
+	}
+}
+
+// AllDone reports whether every core has drained.
+func (cl *Cluster) AllDone() bool { return cl.done == len(cl.cores) }
+
+// Core returns core i.
+func (cl *Cluster) Core(i int) *Core { return cl.cores[i] }
+
+// Cores returns the core count.
+func (cl *Cluster) Cores() int { return len(cl.cores) }
+
+// FinishTime returns the cycle the slowest core drained.
+func (cl *Cluster) FinishTime() sim.Time {
+	var t sim.Time
+	for _, c := range cl.cores {
+		if c.FinishTime() > t {
+			t = c.FinishTime()
+		}
+	}
+	return t
+}
+
+// PhaseCycles sums per-phase cycles over all cores.
+func (cl *Cluster) PhaseCycles(p isa.Phase) sim.Time {
+	var t sim.Time
+	for _, c := range cl.cores {
+		t += c.PhaseCycles(p)
+	}
+	return t
+}
+
+// Retired sums retired instructions over all cores.
+func (cl *Cluster) Retired() uint64 {
+	var t uint64
+	for _, c := range cl.cores {
+		t += c.Retired()
+	}
+	return t
+}
+
+// Flushes sums LSQ-ordering pipeline flushes over all cores.
+func (cl *Cluster) Flushes() uint64 {
+	var t uint64
+	for _, c := range cl.cores {
+		t += c.Flushes()
+	}
+	return t
+}
+
+// RecheckHook adapts the cluster to the protocol's LSQ re-check interface.
+func (cl *Cluster) RecheckHook() func(core int, spmAddr uint64, isStore bool) bool {
+	return func(core int, spmAddr uint64, isStore bool) bool {
+		return cl.cores[core].Recheck(spmAddr, isStore)
+	}
+}

@@ -1,0 +1,456 @@
+// Package cpu models the cores of the manycore: a calibrated approximation
+// of the 6-wide out-of-order pipeline of Table 1. Instructions retire at up
+// to IssueWidth per cycle; loads issue asynchronously with a bounded
+// memory-level-parallelism window (CoreMLP) and a bounded load queue; stores
+// drain through a store queue without blocking retirement until it fills.
+// Execution cycles are attributed to the control / synchronization / work
+// phases of the SPM runtime (paper Fig. 3/Fig. 9).
+//
+// The core also models the LSQ ordering re-check of paper §3.4: when the
+// SPM coherence protocol rewrites a guarded access's address to an SPM
+// address, the LSQ is searched for a conflicting in-flight access; a match
+// with at least one store flushes the pipeline (PipelineDepth cycles).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Ops is everything a core asks of the rest of the machine. The system
+// package implements it by routing to the cache hierarchy, the SPMs, the
+// DMA controllers and the SPM coherence protocol.
+type Ops interface {
+	// IFetch fetches the instruction-cache line holding pc.
+	IFetch(core int, pc uint64, done func())
+	// Mem executes a memory instruction (any isa kind with IsMemory).
+	Mem(core int, inst isa.Inst, done func())
+	// DMAEnqueue offers a DMAGet/DMAPut to the core's DMAC; false means
+	// the command queue is full and the core must retry.
+	DMAEnqueue(core int, inst isa.Inst) bool
+	// DMASync calls done once all transfers tagged inst.Tag are complete.
+	DMASync(core int, tag int, done func())
+	// SetBufSize programs the protocol's mask registers.
+	SetBufSize(core int, bytes int)
+}
+
+// Params are the pipeline parameters a core needs.
+type Params struct {
+	IssueWidth    int
+	PipelineDepth int
+	LQEntries     int
+	SQEntries     int
+	MLP           int
+	LineSize      int
+}
+
+// blockReason says why a core is not retiring instructions.
+type blockReason int
+
+const (
+	notBlocked  blockReason = iota
+	blockLoad               // MLP window or LQ full
+	blockStore              // SQ full
+	blockIFetch             // fetch queue full (front-end starved)
+	blockDMA                // DMAC command queue full
+	blockSync               // dma-synch in progress
+	blockBarrier
+	blockDrain // program done, draining outstanding accesses
+)
+
+// lsqEntry mirrors one in-flight memory access for the §3.4 re-check.
+type lsqEntry struct {
+	addr  uint64
+	store bool
+	live  bool
+}
+
+// Core executes one instruction stream.
+type Core struct {
+	eng  *sim.Engine
+	id   int
+	p    Params
+	ops  Ops
+	prog isa.Program
+	bar  *Barrier
+
+	// Issue bookkeeping.
+	issueSlots int      // sub-cycle slots consumed (mod IssueWidth)
+	budget     sim.Time // accumulated cycles not yet simulated
+
+	// Outstanding accesses.
+	loads, stores, fetches int
+	lastFetchLine          uint64
+	haveFetched            bool
+
+	blocked    blockReason
+	blockStart sim.Time
+	pendInst   isa.Inst // instruction waiting for resources
+	havePend   bool
+
+	phase       isa.Phase
+	phaseCycles [isa.NumPhases]sim.Time
+	lastStamp   sim.Time
+
+	// LSQ mirror for ordering re-checks.
+	lsq    []lsqEntry
+	lsqPos int
+
+	retired    uint64
+	flushes    uint64
+	ifetchOps  uint64
+	finished   bool
+	finishTime sim.Time
+	onFinish   func()
+}
+
+// NewCore builds core id running prog. bar may be nil when the program has
+// no barriers; onFinish may be nil.
+func NewCore(eng *sim.Engine, id int, p Params, ops Ops, prog isa.Program, bar *Barrier, onFinish func()) *Core {
+	if p.IssueWidth <= 0 || p.MLP <= 0 || p.LineSize <= 0 {
+		panic(fmt.Sprintf("cpu: invalid params %+v", p))
+	}
+	return &Core{
+		eng: eng, id: id, p: p, ops: ops, prog: prog, bar: bar,
+		lsq:      make([]lsqEntry, p.LQEntries+p.SQEntries),
+		onFinish: onFinish,
+	}
+}
+
+// Start begins execution (call once; the engine drives everything after).
+func (c *Core) Start() {
+	c.lastStamp = c.eng.Now()
+	c.step()
+}
+
+// Finished reports whether the core has drained completely.
+func (c *Core) Finished() bool { return c.finished }
+
+// FinishTime returns the cycle the core drained (valid once Finished).
+func (c *Core) FinishTime() sim.Time { return c.finishTime }
+
+// Retired returns retired instruction count.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Flushes returns LSQ-ordering pipeline flushes taken (paper §3.4).
+func (c *Core) Flushes() uint64 { return c.flushes }
+
+// IFetches returns instruction-line fetches issued.
+func (c *Core) IFetches() uint64 { return c.ifetchOps }
+
+// PhaseCycles returns cycles attributed to phase.
+func (c *Core) PhaseCycles(p isa.Phase) sim.Time { return c.phaseCycles[p] }
+
+// account charges elapsed wall-cycles since the last stamp to the current
+// phase.
+func (c *Core) account() {
+	now := c.eng.Now()
+	c.phaseCycles[c.phase] += now - c.lastStamp
+	c.lastStamp = now
+}
+
+// chargeIssue consumes one issue slot, converting full groups into cycles.
+func (c *Core) chargeIssue(n int) {
+	c.issueSlots += n
+	c.budget += sim.Time(c.issueSlots / c.p.IssueWidth)
+	c.issueSlots %= c.p.IssueWidth
+}
+
+// flushBudget simulates the accumulated cycles, then resumes stepping.
+// Returns true if a wait was scheduled (caller must stop stepping).
+func (c *Core) flushBudget() bool {
+	if c.budget == 0 {
+		return false
+	}
+	d := c.budget
+	c.budget = 0
+	c.eng.Schedule(d, func() {
+		c.account()
+		c.step()
+	})
+	return true
+}
+
+// step retires instructions until the core must wait for something.
+func (c *Core) step() {
+	for {
+		inst, ok := c.nextInst()
+		if !ok {
+			c.drain()
+			return
+		}
+		if c.phase != inst.Phase {
+			c.account()
+			c.phase = inst.Phase
+		}
+		// Front-end: fetch each new instruction line.
+		if line := inst.PC >> 6; !c.haveFetched || line != c.lastFetchLine {
+			if c.fetches >= 2 {
+				// Fetch queue full: block until one returns.
+				c.block(blockIFetch, inst)
+				return
+			}
+			c.haveFetched = true
+			c.lastFetchLine = line
+			c.fetches++
+			c.ifetchOps++
+			pc := inst.PC
+			c.ops.IFetch(c.id, pc, func() {
+				c.fetches--
+				c.unblockIf(blockIFetch)
+				c.maybeFinish()
+			})
+		}
+
+		if !c.execute(inst) {
+			return // blocked or waiting; execute re-enters step
+		}
+	}
+}
+
+// nextInst returns the pending (resource-stalled) instruction or pulls the
+// next one from the program.
+func (c *Core) nextInst() (isa.Inst, bool) {
+	if c.havePend {
+		c.havePend = false
+		return c.pendInst, true
+	}
+	return c.prog.Next()
+}
+
+// block records why the core stalled and parks inst for retry.
+func (c *Core) block(reason blockReason, inst isa.Inst) {
+	c.account()
+	c.blocked = reason
+	c.blockStart = c.eng.Now()
+	c.pendInst = inst
+	c.havePend = true
+}
+
+// unblockIf resumes the core if it is blocked for the given reason.
+func (c *Core) unblockIf(reason blockReason) {
+	if c.blocked != reason {
+		return
+	}
+	c.blocked = notBlocked
+	c.account()
+	c.step()
+}
+
+// deferForBudget parks inst and simulates the accumulated compute cycles
+// first; step resumes with inst afterwards. Reports true if it deferred.
+func (c *Core) deferForBudget(inst isa.Inst) bool {
+	if c.budget == 0 {
+		return false
+	}
+	c.pendInst = inst
+	c.havePend = true
+	c.flushBudget()
+	return true
+}
+
+// execute runs one instruction. It returns false when the core must stop
+// stepping (blocked or waiting on scheduled work).
+func (c *Core) execute(inst isa.Inst) bool {
+	switch inst.Kind {
+	case isa.Compute:
+		c.retired += uint64(inst.Ops)
+		c.chargeIssue(inst.Ops)
+		// Cap unsimulated work so wait accounting stays honest.
+		if c.budget >= 64 {
+			return !c.flushBudget()
+		}
+		return true
+
+	case isa.Load, isa.GuardedLoad, isa.SPMLoad:
+		if c.deferForBudget(inst) {
+			return false
+		}
+		if c.loads >= c.p.MLP || c.loads >= c.p.LQEntries {
+			c.block(blockLoad, inst)
+			return false
+		}
+		c.retired++
+		c.chargeIssue(1)
+		c.lsqInsert(inst.Addr, false)
+		c.loads++
+		c.ops.Mem(c.id, inst, func() {
+			c.loads--
+			c.lsqRemove(inst.Addr, false)
+			c.unblockIf(blockLoad)
+			c.maybeFinish()
+		})
+		return true
+
+	case isa.Store, isa.GuardedStore, isa.SPMStore:
+		if c.deferForBudget(inst) {
+			return false
+		}
+		if c.stores >= c.p.SQEntries {
+			c.block(blockStore, inst)
+			return false
+		}
+		c.retired++
+		c.chargeIssue(1)
+		c.lsqInsert(inst.Addr, true)
+		c.stores++
+		c.ops.Mem(c.id, inst, func() {
+			c.stores--
+			c.lsqRemove(inst.Addr, true)
+			c.unblockIf(blockStore)
+			c.maybeFinish()
+		})
+		return true
+
+	case isa.DMAGet, isa.DMAPut:
+		if c.deferForBudget(inst) {
+			return false
+		}
+		if !c.ops.DMAEnqueue(c.id, inst) {
+			// Command queue full: retry shortly.
+			c.block(blockDMA, inst)
+			c.eng.Schedule(8, func() { c.unblockIf(blockDMA) })
+			return false
+		}
+		c.retired++
+		c.chargeIssue(1)
+		return true
+
+	case isa.DMASync:
+		if c.deferForBudget(inst) {
+			return false
+		}
+		c.retired++
+		c.block(blockSync, isa.Inst{})
+		c.havePend = false
+		c.ops.DMASync(c.id, inst.Tag, func() { c.unblockIf(blockSync) })
+		return false
+
+	case isa.SetBufSize:
+		c.retired++
+		c.chargeIssue(1)
+		c.ops.SetBufSize(c.id, inst.Bytes)
+		return true
+
+	case isa.Barrier:
+		if c.deferForBudget(inst) {
+			return false
+		}
+		c.retired++
+		if c.bar == nil {
+			return true
+		}
+		c.block(blockBarrier, isa.Inst{})
+		c.havePend = false
+		c.bar.Arrive(func() { c.unblockIf(blockBarrier) })
+		return false
+
+	case isa.PhaseBegin:
+		return true
+
+	default:
+		panic(fmt.Sprintf("cpu: unknown instruction kind %v", inst.Kind))
+	}
+}
+
+// drain finishes the program: wait for the budget and outstanding accesses.
+func (c *Core) drain() {
+	if c.flushBudget() {
+		return // re-enters step -> drain
+	}
+	c.blocked = blockDrain
+	c.maybeFinish()
+}
+
+func (c *Core) maybeFinish() {
+	if c.finished || c.blocked != blockDrain {
+		return
+	}
+	if c.loads > 0 || c.stores > 0 || c.fetches > 0 {
+		return
+	}
+	c.finished = true
+	c.account()
+	c.finishTime = c.eng.Now()
+	if c.onFinish != nil {
+		c.onFinish()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// LSQ mirror (§3.4)
+
+func (c *Core) lsqInsert(addr uint64, store bool) {
+	c.lsq[c.lsqPos] = lsqEntry{addr: addr, store: store, live: true}
+	c.lsqPos = (c.lsqPos + 1) % len(c.lsq)
+}
+
+func (c *Core) lsqRemove(addr uint64, store bool) {
+	for i := range c.lsq {
+		e := &c.lsq[i]
+		if e.live && e.addr == addr && e.store == store {
+			e.live = false
+			return
+		}
+	}
+}
+
+// Recheck implements the protocol's RecheckHook for this core: the guarded
+// access's address changed to spmAddr; search the LSQ for an in-flight
+// access to the same 8-byte word where at least one of the pair is a store.
+// A hit means the out-of-order core may have violated program order, so the
+// pipeline is flushed (PipelineDepth cycles).
+func (c *Core) Recheck(spmAddr uint64, isStore bool) bool {
+	const wordMask = ^uint64(7)
+	for i := range c.lsq {
+		e := &c.lsq[i]
+		if e.live && e.addr&wordMask == spmAddr&wordMask && (e.store || isStore) {
+			c.flushes++
+			c.budget += sim.Time(c.p.PipelineDepth)
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+
+// Barrier joins n cores; the last arrival releases everyone (fork-join
+// parallelism between kernels).
+type Barrier struct {
+	eng     *sim.Engine
+	n       int
+	arrived int
+	waiters []func()
+	epochs  uint64
+}
+
+// NewBarrier builds a barrier over n cores.
+func NewBarrier(eng *sim.Engine, n int) *Barrier {
+	if n <= 0 {
+		panic("cpu: barrier over no cores")
+	}
+	return &Barrier{eng: eng, n: n}
+}
+
+// Arrive registers one core; done runs when all n have arrived.
+func (b *Barrier) Arrive(done func()) {
+	b.arrived++
+	b.waiters = append(b.waiters, done)
+	if b.arrived < b.n {
+		return
+	}
+	ws := b.waiters
+	b.arrived = 0
+	b.waiters = nil
+	b.epochs++
+	for _, w := range ws {
+		b.eng.Schedule(1, w)
+	}
+}
+
+// Epochs returns how many times the barrier has released.
+func (b *Barrier) Epochs() uint64 { return b.epochs }

@@ -1,0 +1,336 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// fakeOps is a memory system with fixed latencies.
+type fakeOps struct {
+	eng      *sim.Engine
+	memLat   sim.Time
+	ifLat    sim.Time
+	memCalls []isa.Inst
+	dmaCalls []isa.Inst
+	dmaFail  int // reject the first N DMA enqueues
+	syncLat  sim.Time
+	bufSizes map[int]int
+}
+
+func newFakeOps(eng *sim.Engine) *fakeOps {
+	return &fakeOps{eng: eng, memLat: 5, ifLat: 2, syncLat: 20, bufSizes: map[int]int{}}
+}
+
+func (f *fakeOps) IFetch(core int, pc uint64, done func()) { f.eng.Schedule(f.ifLat, done) }
+func (f *fakeOps) Mem(core int, inst isa.Inst, done func()) {
+	f.memCalls = append(f.memCalls, inst)
+	f.eng.Schedule(f.memLat, done)
+}
+func (f *fakeOps) DMAEnqueue(core int, inst isa.Inst) bool {
+	if f.dmaFail > 0 {
+		f.dmaFail--
+		return false
+	}
+	f.dmaCalls = append(f.dmaCalls, inst)
+	return true
+}
+func (f *fakeOps) DMASync(core, tag int, done func()) { f.eng.Schedule(f.syncLat, done) }
+func (f *fakeOps) SetBufSize(core, bytes int)         { f.bufSizes[core] = bytes }
+
+func params() Params {
+	return Params{IssueWidth: 2, PipelineDepth: 13, LQEntries: 8, SQEntries: 4, MLP: 2, LineSize: 64}
+}
+
+func runCore(t *testing.T, prog isa.Program) (*sim.Engine, *fakeOps, *Core) {
+	t.Helper()
+	eng := sim.NewEngine()
+	ops := newFakeOps(eng)
+	c := NewCore(eng, 0, params(), ops, prog, nil, nil)
+	c.Start()
+	eng.Run()
+	if !c.Finished() {
+		t.Fatal("core never finished")
+	}
+	return eng, ops, c
+}
+
+func TestComputeAdvancesTime(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.Compute(20) // 20 ops / 2-wide = 10 cycles
+	eng, _, c := runCore(t, b.Program())
+	if eng.Now() < 10 {
+		t.Fatalf("finished at %d, want >= 10", eng.Now())
+	}
+	if c.Retired() != 20 {
+		t.Fatalf("retired = %d", c.Retired())
+	}
+}
+
+func TestLoadIssuesToMem(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.Load(0x1000).Store(0x2000).GuardedLoad(0x3000).SPMStore(0x4000)
+	_, ops, c := runCore(t, b.Program())
+	if len(ops.memCalls) != 4 {
+		t.Fatalf("mem calls = %d", len(ops.memCalls))
+	}
+	if ops.memCalls[2].Kind != isa.GuardedLoad {
+		t.Fatalf("third call = %v", ops.memCalls[2].Kind)
+	}
+	if c.Retired() != 4 {
+		t.Fatalf("retired = %d", c.Retired())
+	}
+}
+
+func TestMLPWindowLimitsOutstandingLoads(t *testing.T) {
+	eng := sim.NewEngine()
+	ops := newFakeOps(eng)
+	ops.memLat = 100
+	b := isa.NewBuilder(0)
+	for i := 0; i < 4; i++ {
+		b.Load(uint64(0x1000 * (i + 1)))
+	}
+	c := NewCore(eng, 0, params(), ops, b.Program(), nil, nil) // MLP=2
+	c.Start()
+	// Before any completion, only 2 loads may be in flight.
+	eng.RunUntil(50)
+	if len(ops.memCalls) != 2 {
+		t.Fatalf("loads issued before first completion = %d, want 2", len(ops.memCalls))
+	}
+	eng.Run()
+	if !c.Finished() || len(ops.memCalls) != 4 {
+		t.Fatalf("finished=%v issued=%d", c.Finished(), len(ops.memCalls))
+	}
+}
+
+func TestStoreQueueBackpressure(t *testing.T) {
+	eng := sim.NewEngine()
+	ops := newFakeOps(eng)
+	ops.memLat = 1000
+	b := isa.NewBuilder(0)
+	for i := 0; i < 6; i++ {
+		b.Store(uint64(0x100 * (i + 1)))
+	}
+	c := NewCore(eng, 0, params(), ops, b.Program(), nil, nil) // SQ=4
+	c.Start()
+	eng.RunUntil(100)
+	if len(ops.memCalls) != 4 {
+		t.Fatalf("stores in flight = %d, want SQ limit 4", len(ops.memCalls))
+	}
+	eng.Run()
+	if !c.Finished() {
+		t.Fatal("never finished")
+	}
+}
+
+func TestDMAEnqueueRetries(t *testing.T) {
+	eng := sim.NewEngine()
+	ops := newFakeOps(eng)
+	ops.dmaFail = 3
+	b := isa.NewBuilder(0)
+	b.DMAGet(0x1000, 0xF000, 512, 1)
+	c := NewCore(eng, 0, params(), ops, b.Program(), nil, nil)
+	c.Start()
+	eng.Run()
+	if !c.Finished() {
+		t.Fatal("never finished")
+	}
+	if len(ops.dmaCalls) != 1 {
+		t.Fatalf("dma accepted = %d, want 1 after retries", len(ops.dmaCalls))
+	}
+	if eng.Now() < 3*8 {
+		t.Fatalf("finished at %d, want >= 24 (three retry waits)", eng.Now())
+	}
+}
+
+func TestDMASyncBlocksAndAttributesSyncPhase(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.SetPhase(isa.PhaseControl).DMAGet(0x1000, 0xF000, 64, 1)
+	b.SetPhase(isa.PhaseSync).DMASync(1)
+	b.SetPhase(isa.PhaseWork).Compute(4)
+	_, _, c := runCore(t, b.Program())
+	if c.PhaseCycles(isa.PhaseSync) < 20 {
+		t.Fatalf("sync cycles = %d, want >= 20 (syncLat)", c.PhaseCycles(isa.PhaseSync))
+	}
+	if c.PhaseCycles(isa.PhaseWork) == 0 {
+		t.Fatal("no work cycles attributed")
+	}
+}
+
+func TestSetBufSizeReachesOps(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.SetBufSize(2048)
+	_, ops, _ := runCore(t, b.Program())
+	if ops.bufSizes[0] != 2048 {
+		t.Fatalf("bufSizes = %v", ops.bufSizes)
+	}
+}
+
+func TestIFetchPerLine(t *testing.T) {
+	b := isa.NewBuilder(0)
+	// 40 sequential instructions at 4B each = 160B = 3 lines.
+	for i := 0; i < 40; i++ {
+		b.Compute(1)
+	}
+	_, _, c := runCore(t, b.Program())
+	if c.IFetches() != 3 {
+		t.Fatalf("ifetches = %d, want 3", c.IFetches())
+	}
+}
+
+func TestIFetchAcrossCallSite(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.Compute(1)
+	b.SetPC(0x9000) // "call" into the runtime library
+	b.Compute(1)
+	b.SetPC(4) // return
+	b.Compute(1)
+	_, _, c := runCore(t, b.Program())
+	if c.IFetches() != 3 {
+		t.Fatalf("ifetches = %d, want 3 (two jumps)", c.IFetches())
+	}
+}
+
+func TestBarrierJoinsCores(t *testing.T) {
+	eng := sim.NewEngine()
+	ops := newFakeOps(eng)
+	cfg := config.SmallTest()
+	cfg.IssueWidth = 2
+	cfg.CoreMLP = 2
+	progs := make([]isa.Program, 3)
+	for i := range progs {
+		b := isa.NewBuilder(0)
+		b.Compute((i + 1) * 20) // unequal work before the barrier
+		b.Barrier()
+		b.Compute(2)
+		progs[i] = b.Program()
+	}
+	// Build a 3-core cluster manually (config wants mesh geometry).
+	cl := &Cluster{eng: eng, barrier: NewBarrier(eng, 3)}
+	p := params()
+	for i, prog := range progs {
+		cl.cores = append(cl.cores, NewCore(eng, i, p, ops, prog, cl.barrier, func() { cl.done++ }))
+	}
+	cl.Start()
+	eng.Run()
+	if !cl.AllDone() {
+		t.Fatal("cluster never finished")
+	}
+	if cl.barrier.Epochs() != 1 {
+		t.Fatalf("barrier epochs = %d", cl.barrier.Epochs())
+	}
+	// All cores finish within a few cycles of each other after the join.
+	var min, max sim.Time = 1 << 62, 0
+	for _, c := range cl.cores {
+		ft := c.FinishTime()
+		if ft < min {
+			min = ft
+		}
+		if ft > max {
+			max = ft
+		}
+	}
+	if max-min > 10 {
+		t.Fatalf("post-barrier finish spread = %d cycles", max-min)
+	}
+	_ = cfg
+}
+
+func TestLSQRecheckDetectsConflict(t *testing.T) {
+	eng := sim.NewEngine()
+	ops := newFakeOps(eng)
+	ops.memLat = 500 // keep accesses in the LSQ
+	b := isa.NewBuilder(0)
+	b.Store(0xF0000)
+	c := NewCore(eng, 0, params(), ops, b.Program(), nil, nil)
+	c.Start()
+	eng.RunUntil(50)
+	// A guarded access just got diverted to the same word: must flush.
+	if !c.Recheck(0xF0004, false) {
+		t.Fatal("recheck missed store-load conflict on same word")
+	}
+	if c.Flushes() != 1 {
+		t.Fatalf("flushes = %d", c.Flushes())
+	}
+	// Different word: no conflict.
+	if c.Recheck(0xF0100, false) {
+		t.Fatal("recheck false positive")
+	}
+	// Load-load on same word: no conflict either.
+	eng.Run()
+	if c.Recheck(0xF0000, false) {
+		t.Fatal("load-load flagged after queue drained")
+	}
+}
+
+func TestLSQLoadLoadNoConflict(t *testing.T) {
+	eng := sim.NewEngine()
+	ops := newFakeOps(eng)
+	ops.memLat = 500
+	b := isa.NewBuilder(0)
+	b.Load(0xA000)
+	c := NewCore(eng, 0, params(), ops, b.Program(), nil, nil)
+	c.Start()
+	eng.RunUntil(50)
+	if c.Recheck(0xA000, false) {
+		t.Fatal("two loads to same word must not flush")
+	}
+	if !c.Recheck(0xA000, true) {
+		t.Fatal("store recheck against in-flight load must flush")
+	}
+}
+
+func TestClusterAggregation(t *testing.T) {
+	eng := sim.NewEngine()
+	ops := newFakeOps(eng)
+	cfg := config.SmallTest()
+	progs := make([]isa.Program, cfg.Cores)
+	for i := range progs {
+		b := isa.NewBuilder(0)
+		b.Compute(10).Load(uint64(0x1000 * (i + 1)))
+		progs[i] = b.Program()
+	}
+	cl := NewCluster(eng, cfg, ops, progs)
+	cl.Start()
+	eng.Run()
+	if !cl.AllDone() {
+		t.Fatal("not all done")
+	}
+	if cl.Retired() != uint64(cfg.Cores*11) {
+		t.Fatalf("retired = %d, want %d", cl.Retired(), cfg.Cores*11)
+	}
+	if cl.FinishTime() == 0 {
+		t.Fatal("finish time zero")
+	}
+	if cl.Cores() != cfg.Cores {
+		t.Fatalf("Cores() = %d", cl.Cores())
+	}
+	hook := cl.RecheckHook()
+	if hook(0, 0xDEAD000, false) {
+		t.Fatal("hook flushed with empty LSQ")
+	}
+}
+
+func TestEmptyProgramFinishesImmediately(t *testing.T) {
+	_, _, c := runCore(t, isa.NewSliceProgram(nil))
+	if c.Retired() != 0 {
+		t.Fatalf("retired = %d", c.Retired())
+	}
+}
+
+func TestPhaseAttributionSumsToFinishTime(t *testing.T) {
+	b := isa.NewBuilder(0)
+	b.SetPhase(isa.PhaseControl).Compute(30).DMAGet(0x1000, 0xF000, 64, 1)
+	b.SetPhase(isa.PhaseSync).DMASync(1)
+	b.SetPhase(isa.PhaseWork).Compute(50).Load(0x5000).Load(0x6000)
+	_, _, c := runCore(t, b.Program())
+	var sum sim.Time
+	for p := isa.Phase(0); p < isa.NumPhases; p++ {
+		sum += c.PhaseCycles(p)
+	}
+	if sum != c.FinishTime() {
+		t.Fatalf("phase sum %d != finish time %d", sum, c.FinishTime())
+	}
+}

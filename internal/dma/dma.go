@@ -1,0 +1,238 @@
+// Package dma models the per-core DMA controllers (DMACs) that move data
+// between the scratchpads and global memory (paper §2.1). Each controller
+// has an in-order command queue (32 entries) feeding an in-order bus-request
+// queue (512 entries): a command expands into one line-granule bus request
+// per cache line, and those requests ride the GM coherence protocol —
+// dma-get snoops dirty cached data, dma-put invalidates cached copies.
+//
+// Software talks to the DMAC through three operations mirroring the paper's
+// memory-mapped registers: Get, Put and Sync (dma-synch on a tag).
+package dma
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/spm"
+	"repro/internal/stats"
+)
+
+// GM abstracts the coherent global-memory system the DMAC transfers against
+// (implemented by coherence.Hierarchy).
+type GM interface {
+	// DMARead fetches one line for a dma-get.
+	DMARead(core int, line uint64, done func())
+	// DMAWrite pushes one line for a dma-put, invalidating cached copies.
+	DMAWrite(core int, line uint64, done func())
+}
+
+// MapNotifier observes chunk mappings. The SPM coherence protocol registers
+// itself here: a dma-get updates the core's SPMDir and invalidates filters
+// (paper §3.3, Fig. 6a).
+type MapNotifier interface {
+	// NotifyMap is called when core maps [gmAddr, gmAddr+bytes) into its
+	// SPM at spmAddr via a dma-get.
+	NotifyMap(core int, gmAddr, spmAddr uint64, bytes int)
+}
+
+// command is one queued DMA operation.
+type command struct {
+	put     bool
+	gmAddr  uint64
+	spmAddr uint64
+	bytes   int
+	tag     int
+}
+
+// Controller is one core's DMAC.
+type Controller struct {
+	eng      *sim.Engine
+	core     int
+	gm       GM
+	local    *spm.SPM
+	notifier MapNotifier
+
+	lineSize   int
+	cmdCap     int
+	busCap     int
+	lineCycles sim.Time
+
+	cmds       []command
+	busInUse   int
+	processing bool
+
+	outstanding map[int]int      // tag -> in-flight line transfers
+	waiters     map[int][]func() // tag -> dma-synch continuations
+
+	gets, puts, lineXfers uint64
+	rejected              uint64
+
+	issueStamp map[int]sim.Time // tag -> first enqueue time (diagnostics)
+	TagLatency stats.Dist       // enqueue-to-last-completion per tag
+}
+
+// NewController builds core's DMAC. notifier may be nil (cache-based or
+// ideal-coherence systems).
+func NewController(eng *sim.Engine, core int, gm GM, local *spm.SPM, notifier MapNotifier,
+	lineSize, cmdQueue, busQueue, lineCycles int) *Controller {
+	if lineSize <= 0 || cmdQueue <= 0 || busQueue <= 0 || lineCycles <= 0 {
+		panic(fmt.Sprintf("dma: invalid parameters line=%d cmd=%d bus=%d rate=%d",
+			lineSize, cmdQueue, busQueue, lineCycles))
+	}
+	return &Controller{
+		eng:         eng,
+		core:        core,
+		gm:          gm,
+		local:       local,
+		notifier:    notifier,
+		lineSize:    lineSize,
+		cmdCap:      cmdQueue,
+		busCap:      busQueue,
+		lineCycles:  sim.Time(lineCycles),
+		outstanding: make(map[int]int),
+		waiters:     make(map[int][]func()),
+		issueStamp:  make(map[int]sim.Time),
+	}
+}
+
+// Get enqueues a dma-get transferring bytes from gmAddr to spmAddr under
+// tag. It reports false when the command queue is full (software retries,
+// matching the paper's memory-mapped register interface).
+func (c *Controller) Get(gmAddr, spmAddr uint64, bytes, tag int) bool {
+	return c.enqueue(command{put: false, gmAddr: gmAddr, spmAddr: spmAddr, bytes: bytes, tag: tag})
+}
+
+// Put enqueues a dma-put transferring bytes from spmAddr back to gmAddr.
+func (c *Controller) Put(gmAddr, spmAddr uint64, bytes, tag int) bool {
+	return c.enqueue(command{put: true, gmAddr: gmAddr, spmAddr: spmAddr, bytes: bytes, tag: tag})
+}
+
+func (c *Controller) enqueue(cmd command) bool {
+	if len(c.cmds) >= c.cmdCap {
+		c.rejected++
+		return false
+	}
+	if cmd.bytes <= 0 {
+		panic("dma: transfer of zero bytes")
+	}
+	if cmd.put {
+		c.puts++
+	} else {
+		c.gets++
+	}
+	if _, ok := c.issueStamp[cmd.tag]; !ok {
+		c.issueStamp[cmd.tag] = c.eng.Now()
+	}
+	c.outstanding[cmd.tag] += c.lines(cmd.bytes)
+	c.cmds = append(c.cmds, cmd)
+	c.process()
+	return true
+}
+
+// Sync registers done to run once every transfer tagged tag has completed
+// (dma-synch). If none are outstanding it fires on the next cycle.
+func (c *Controller) Sync(tag int, done func()) {
+	if c.outstanding[tag] == 0 {
+		c.eng.Schedule(1, done)
+		return
+	}
+	c.waiters[tag] = append(c.waiters[tag], done)
+}
+
+// Outstanding returns in-flight line transfers for tag.
+func (c *Controller) Outstanding(tag int) int { return c.outstanding[tag] }
+
+// Gets returns the number of accepted dma-get commands.
+func (c *Controller) Gets() uint64 { return c.gets }
+
+// Puts returns the number of accepted dma-put commands.
+func (c *Controller) Puts() uint64 { return c.puts }
+
+// LineTransfers returns the number of line-granule bus requests issued.
+func (c *Controller) LineTransfers() uint64 { return c.lineXfers }
+
+// Rejected returns how many commands were refused due to a full queue.
+func (c *Controller) Rejected() uint64 { return c.rejected }
+
+func (c *Controller) lines(bytes int) int {
+	return (bytes + c.lineSize - 1) / c.lineSize
+}
+
+// process drains the command queue in order, pacing bus-request issue at one
+// line per lineCycles and respecting the bus-queue occupancy cap.
+func (c *Controller) process() {
+	if c.processing || len(c.cmds) == 0 {
+		return
+	}
+	c.processing = true
+	cmd := c.cmds[0]
+
+	// A dma-get maps a chunk: the coherence protocol learns about it
+	// before any data moves, exactly like the SPMDir update + filter
+	// invalidation happening at the MAP call (paper §3.3).
+	if !cmd.put && c.notifier != nil {
+		c.notifier.NotifyMap(c.core, cmd.gmAddr, cmd.spmAddr, cmd.bytes)
+	}
+
+	nLines := c.lines(cmd.bytes)
+	c.issueLines(cmd, 0, nLines)
+}
+
+// issueLines issues bus requests for cmd starting at line index i.
+func (c *Controller) issueLines(cmd command, i, n int) {
+	if i == n {
+		// Command fully issued; move to the next one.
+		c.cmds = c.cmds[1:]
+		c.processing = false
+		c.process()
+		return
+	}
+	if c.busInUse >= c.busCap {
+		// Bus queue full: retry shortly.
+		c.eng.Schedule(c.lineCycles, func() { c.issueLines(cmd, i, n) })
+		return
+	}
+	c.busInUse++
+	line := (cmd.gmAddr >> lineShift(c.lineSize)) + uint64(i)
+	tag := cmd.tag
+	complete := func() {
+		c.busInUse--
+		c.lineXfers++
+		c.finishLine(tag)
+	}
+	if cmd.put {
+		c.local.DMAAccess(false) // read SPM array
+		c.gm.DMAWrite(c.core, line, complete)
+	} else {
+		c.local.DMAAccess(true) // write SPM array
+		c.gm.DMARead(c.core, line, complete)
+	}
+	// Pace the next line request.
+	c.eng.Schedule(c.lineCycles, func() { c.issueLines(cmd, i+1, n) })
+}
+
+// finishLine retires one line transfer of tag, waking dma-synch waiters.
+func (c *Controller) finishLine(tag int) {
+	c.outstanding[tag]--
+	if c.outstanding[tag] > 0 {
+		return
+	}
+	delete(c.outstanding, tag)
+	if t0, ok := c.issueStamp[tag]; ok {
+		c.TagLatency.Observe(uint64(c.eng.Now() - t0))
+		delete(c.issueStamp, tag)
+	}
+	ws := c.waiters[tag]
+	delete(c.waiters, tag)
+	for _, w := range ws {
+		c.eng.Schedule(0, w)
+	}
+}
+
+func lineShift(lineSize int) uint {
+	s := uint(0)
+	for 1<<s < lineSize {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package dma
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/spm"
+)
+
+// fakeGM records DMA line operations and completes them after a fixed delay.
+type fakeGM struct {
+	eng    *sim.Engine
+	delay  sim.Time
+	reads  []uint64
+	writes []uint64
+}
+
+func (f *fakeGM) DMARead(core int, line uint64, done func()) {
+	f.reads = append(f.reads, line)
+	f.eng.Schedule(f.delay, done)
+}
+
+func (f *fakeGM) DMAWrite(core int, line uint64, done func()) {
+	f.writes = append(f.writes, line)
+	f.eng.Schedule(f.delay, done)
+}
+
+type mapRecord struct {
+	core    int
+	gm, spm uint64
+	bytes   int
+}
+
+type fakeNotifier struct{ maps []mapRecord }
+
+func (f *fakeNotifier) NotifyMap(core int, gmAddr, spmAddr uint64, bytes int) {
+	f.maps = append(f.maps, mapRecord{core, gmAddr, spmAddr, bytes})
+}
+
+func newCtrl(t *testing.T) (*sim.Engine, *fakeGM, *fakeNotifier, *spm.SPM, *Controller) {
+	t.Helper()
+	eng := sim.NewEngine()
+	gm := &fakeGM{eng: eng, delay: 10}
+	n := &fakeNotifier{}
+	s := spm.New(eng, 2)
+	c := NewController(eng, 3, gm, s, n, 64, 4, 8, 2)
+	return eng, gm, n, s, c
+}
+
+func TestGetTransfersAllLines(t *testing.T) {
+	eng, gm, _, s, c := newCtrl(t)
+	done := false
+	if !c.Get(0x1000, 0xF000, 256, 1) { // 4 lines
+		t.Fatal("Get rejected")
+	}
+	c.Sync(1, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("sync never fired")
+	}
+	if len(gm.reads) != 4 {
+		t.Fatalf("gm reads = %d, want 4", len(gm.reads))
+	}
+	want := uint64(0x1000 >> 6)
+	for i, l := range gm.reads {
+		if l != want+uint64(i) {
+			t.Fatalf("read line %d = %#x, want %#x", i, l, want+uint64(i))
+		}
+	}
+	if s.DMAWrites() != 4 {
+		t.Fatalf("spm dma writes = %d, want 4", s.DMAWrites())
+	}
+	if c.LineTransfers() != 4 {
+		t.Fatalf("LineTransfers = %d", c.LineTransfers())
+	}
+}
+
+func TestPutUsesDMAWrite(t *testing.T) {
+	eng, gm, _, s, c := newCtrl(t)
+	c.Put(0x2000, 0xF100, 128, 2) // 2 lines
+	eng.Run()
+	if len(gm.writes) != 2 || len(gm.reads) != 0 {
+		t.Fatalf("writes=%d reads=%d", len(gm.writes), len(gm.reads))
+	}
+	if s.DMAReads() != 2 {
+		t.Fatalf("spm dma reads = %d", s.DMAReads())
+	}
+}
+
+func TestGetNotifiesMapBeforeData(t *testing.T) {
+	eng, _, n, _, c := newCtrl(t)
+	c.Get(0x4000, 0xF200, 512, 7)
+	if len(n.maps) != 1 {
+		t.Fatalf("NotifyMap calls = %d, want 1 (at issue, before data moves)", len(n.maps))
+	}
+	m := n.maps[0]
+	if m.core != 3 || m.gm != 0x4000 || m.spm != 0xF200 || m.bytes != 512 {
+		t.Fatalf("map = %+v", m)
+	}
+	eng.Run()
+	if len(n.maps) != 1 {
+		t.Fatal("NotifyMap called more than once per get")
+	}
+}
+
+func TestPutDoesNotNotify(t *testing.T) {
+	eng, _, n, _, c := newCtrl(t)
+	c.Put(0x2000, 0xF000, 64, 1)
+	eng.Run()
+	if len(n.maps) != 0 {
+		t.Fatal("dma-put must not update the SPMDir mapping")
+	}
+}
+
+func TestSyncWithNothingOutstanding(t *testing.T) {
+	eng, _, _, _, c := newCtrl(t)
+	fired := false
+	c.Sync(9, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("sync on idle tag never fired")
+	}
+}
+
+func TestSyncPerTag(t *testing.T) {
+	eng, _, _, _, c := newCtrl(t)
+	var order []int
+	c.Get(0x1000, 0xF000, 64, 1)   // 1 line
+	c.Get(0x8000, 0xF040, 1024, 2) // 16 lines (slower)
+	c.Sync(1, func() { order = append(order, 1) })
+	c.Sync(2, func() { order = append(order, 2) })
+	eng.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("sync order = %v, want [1 2]", order)
+	}
+}
+
+func TestCommandQueueCapacity(t *testing.T) {
+	eng, _, _, _, c := newCtrl(t) // capacity 4
+	accepted := 0
+	for i := 0; i < 6; i++ {
+		if c.Get(uint64(0x1000*i), 0xF000, 64, i) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted = %d, want 4", accepted)
+	}
+	if c.Rejected() != 2 {
+		t.Fatalf("rejected = %d, want 2", c.Rejected())
+	}
+	eng.Run()
+}
+
+func TestCommandsProcessInOrder(t *testing.T) {
+	eng, gm, _, _, c := newCtrl(t)
+	c.Get(0x1000, 0xF000, 64, 1)
+	c.Put(0x2000, 0xF040, 64, 2)
+	eng.Run()
+	if len(gm.reads) != 1 || len(gm.writes) != 1 {
+		t.Fatalf("reads=%d writes=%d", len(gm.reads), len(gm.writes))
+	}
+	// In-order: the get's read must have been issued before the put's
+	// write. fakeGM appends at issue time; verify via counters.
+	if c.Gets() != 1 || c.Puts() != 1 {
+		t.Fatalf("gets=%d puts=%d", c.Gets(), c.Puts())
+	}
+}
+
+func TestIssuePacing(t *testing.T) {
+	eng := sim.NewEngine()
+	gm := &fakeGM{eng: eng, delay: 1}
+	s := spm.New(eng, 2)
+	c := NewController(eng, 0, gm, s, nil, 64, 4, 512, 2) // 2 cycles per line
+	var issueTimes []sim.Time
+	c.Get(0, 0xF000, 256, 1) // 4 lines; first line issues at enqueue
+	if len(gm.reads) > 0 {
+		issueTimes = append(issueTimes, eng.Now())
+	}
+	for eng.Step() {
+		if len(gm.reads) > len(issueTimes) {
+			issueTimes = append(issueTimes, eng.Now())
+		}
+	}
+	if len(issueTimes) != 4 {
+		t.Fatalf("issues = %d", len(issueTimes))
+	}
+	for i := 1; i < len(issueTimes); i++ {
+		if issueTimes[i]-issueTimes[i-1] < 2 {
+			t.Fatalf("lines issued %d cycles apart, want >= 2", issueTimes[i]-issueTimes[i-1])
+		}
+	}
+}
+
+func TestBusQueueBackpressure(t *testing.T) {
+	eng := sim.NewEngine()
+	gm := &fakeGM{eng: eng, delay: 1000} // slow GM keeps requests in flight
+	s := spm.New(eng, 2)
+	c := NewController(eng, 0, gm, s, nil, 64, 4, 2, 1) // bus cap 2
+	c.Get(0, 0xF000, 64*6, 1)                           // 6 lines
+	// Run a while: in-flight must never exceed the bus capacity.
+	for i := 0; i < 2000 && eng.Step(); i++ {
+		inFlight := len(gm.reads) - int(c.LineTransfers())
+		if inFlight > 2 {
+			t.Fatalf("bus queue exceeded: %d in flight", inFlight)
+		}
+	}
+	eng.Run()
+	if c.LineTransfers() != 6 {
+		t.Fatalf("transfers = %d, want 6", c.LineTransfers())
+	}
+}
+
+func TestZeroByteTransferPanics(t *testing.T) {
+	_, _, _, _, c := newCtrl(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-byte Get did not panic")
+		}
+	}()
+	c.Get(0, 0xF000, 0, 1)
+}
+
+func TestNilNotifierOK(t *testing.T) {
+	eng := sim.NewEngine()
+	gm := &fakeGM{eng: eng, delay: 1}
+	s := spm.New(eng, 2)
+	c := NewController(eng, 0, gm, s, nil, 64, 4, 8, 1)
+	done := false
+	c.Get(0x1000, 0xF000, 64, 1)
+	c.Sync(1, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("transfer with nil notifier failed")
+	}
+}

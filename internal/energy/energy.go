@@ -1,0 +1,176 @@
+// Package energy estimates chip energy from event counts — the McPAT
+// substitute (see DESIGN.md §2). Every simulated event carries a fixed
+// dynamic energy and every component leaks per cycle; constants are loosely
+// derived from published 22 nm CACTI/McPAT figures and, as in the paper's
+// Figure 11, only *relative* energies between configurations matter.
+//
+// Components follow the paper's breakdown: CPUs, caches (incl. MSHRs and
+// prefetchers), NoC, Others (cache-coherence structures, DMACs, memory
+// controllers), SPMs, and the SPM coherence protocol structures (CohProt).
+// The filters are clock-gated when a program has no guarded accesses, which
+// is why SP's CohProt energy nearly vanishes (paper §5.3).
+package energy
+
+import "math"
+
+// Params holds the per-event dynamic energies (picojoules) and per-cycle
+// leakage (picojoules/cycle). Defaults22nm returns the calibrated set.
+type Params struct {
+	// Dynamic energy per event (pJ).
+	CPUPerInstr    float64
+	L1PerAccess32K float64 // scaled by sqrt(size/32K) for other sizes
+	TLBPerAccess   float64
+	L2PerAccess    float64
+	MemCtrlPerLine float64
+	NoCPerFlitHop  float64
+	SPMPerAccess   float64
+	DMACPerLine    float64
+	FilterLookup   float64
+	SPMDirLookup   float64
+	FDirLookup     float64
+	FilterInvalOp  float64
+
+	// Leakage per cycle per instance (pJ/cycle).
+	CPULeak     float64 // per core
+	L1Leak32K   float64 // per 32KB L1 array (scales linearly with size)
+	L2SliceLeak float64 // per 256KB slice
+	RouterLeak  float64 // per router
+	OthersLeak  float64 // per core: dir slice, mem-ctrl share
+	DMACLeak    float64 // per DMAC
+	SPMLeak     float64 // per SPM
+	SPMDirLeak  float64 // per SPMDir
+	FilterLeak  float64 // per filter (gated off without guarded refs)
+	FDirLeak    float64 // per FilterDir slice
+}
+
+// Defaults22nm returns the constants used throughout the evaluation.
+func Defaults22nm() Params {
+	return Params{
+		CPUPerInstr:    45,
+		L1PerAccess32K: 22,
+		TLBPerAccess:   4,
+		L2PerAccess:    95,
+		MemCtrlPerLine: 180,
+		NoCPerFlitHop:  9,
+		SPMPerAccess:   7,
+		DMACPerLine:    12,
+		FilterLookup:   5,
+		SPMDirLookup:   3,
+		FDirLookup:     14,
+		FilterInvalOp:  5,
+
+		CPULeak:     25,
+		L1Leak32K:   6,
+		L2SliceLeak: 30,
+		RouterLeak:  3,
+		OthersLeak:  4,
+		DMACLeak:    1.5,
+		SPMLeak:     2.5,
+		SPMDirLeak:  0.4,
+		FilterLeak:  0.8,
+		FDirLeak:    0.6,
+	}
+}
+
+// Inputs are the event counts of one simulation run.
+type Inputs struct {
+	Cycles uint64
+	Cores  int
+
+	RetiredInstrs uint64
+
+	L1DAccesses uint64
+	L1IAccesses uint64
+	L1DSize     int // bytes (the cache-based system runs 64KB)
+	TLBAccesses uint64
+	L2Accesses  uint64
+
+	MemLines    uint64 // DRAM controller line accesses (reads+writes)
+	NoCFlitHops uint64
+
+	HasSPM           bool
+	SPMAccesses      uint64 // all SPM array accesses (CPU+DMA+remote)
+	DMALineTransfers uint64
+
+	// Coherence-protocol events (zero on cache-based/ideal systems).
+	ProtocolPresent bool // false: no SPMDir/Filter/FilterDir hardware
+	FilterLookups   uint64
+	SPMDirLookups   uint64
+	SPMDirUpdates   uint64
+	FDirLookups     uint64
+	FilterInvals    uint64
+	GuardedPresent  bool // filters gated off when false (SP)
+}
+
+// Breakdown is energy per component in picojoules, Figure 11's categories.
+type Breakdown struct {
+	CPUs    float64
+	Caches  float64
+	NoC     float64
+	Others  float64
+	SPMs    float64
+	CohProt float64
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.CPUs + b.Caches + b.NoC + b.Others + b.SPMs + b.CohProt
+}
+
+// Compute evaluates the model for one run.
+func Compute(in Inputs, p Params) Breakdown {
+	var b Breakdown
+	cyc := float64(in.Cycles)
+	n := float64(in.Cores)
+
+	// CPUs: instruction energy + core leakage. Fewer cycles (the hybrid
+	// speedup) directly reduce leakage, reproducing the paper's 5–23%
+	// CPU-energy reduction from avoided stall/replay time.
+	b.CPUs = float64(in.RetiredInstrs)*p.CPUPerInstr + cyc*n*p.CPULeak
+
+	// Caches: L1I + L1D (size-scaled) + TLB + L2 dynamic, plus leakage.
+	l1Scale := math.Sqrt(float64(in.L1DSize) / (32 << 10))
+	if in.L1DSize == 0 {
+		l1Scale = 1
+	}
+	b.Caches = float64(in.L1DAccesses)*p.L1PerAccess32K*l1Scale +
+		float64(in.L1IAccesses)*p.L1PerAccess32K +
+		float64(in.TLBAccesses)*p.TLBPerAccess +
+		float64(in.L2Accesses)*p.L2PerAccess
+	l1LeakScale := float64(in.L1DSize) / (32 << 10)
+	if in.L1DSize == 0 {
+		l1LeakScale = 1
+	}
+	b.Caches += cyc * n * (p.L1Leak32K + p.L1Leak32K*l1LeakScale + p.L2SliceLeak)
+
+	// NoC: flit-hop energy + router leakage.
+	b.NoC = float64(in.NoCFlitHops)*p.NoCPerFlitHop + cyc*n*p.RouterLeak
+
+	// Others: memory controllers, cache-directory, DMACs.
+	b.Others = float64(in.MemLines)*p.MemCtrlPerLine + cyc*n*p.OthersLeak
+	if in.HasSPM {
+		b.Others += float64(in.DMALineTransfers)*p.DMACPerLine + cyc*n*p.DMACLeak
+	}
+
+	// SPMs.
+	if in.HasSPM {
+		b.SPMs = float64(in.SPMAccesses)*p.SPMPerAccess + cyc*n*p.SPMLeak
+	}
+
+	// Coherence protocol structures. SPMDir and FilterDir stay powered
+	// (DMA transfers update them); filters are gated off when the code
+	// has no guarded accesses. The ideal-coherence baseline has none of
+	// these structures at all.
+	if in.HasSPM && in.ProtocolPresent {
+		b.CohProt = float64(in.FilterLookups)*p.FilterLookup +
+			float64(in.SPMDirLookups+in.SPMDirUpdates)*p.SPMDirLookup +
+			float64(in.FDirLookups)*p.FDirLookup +
+			float64(in.FilterInvals)*p.FilterInvalOp
+		leak := p.SPMDirLeak + p.FDirLeak
+		if in.GuardedPresent {
+			leak += p.FilterLeak
+		}
+		b.CohProt += cyc * n * leak
+	}
+	return b
+}

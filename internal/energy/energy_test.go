@@ -1,0 +1,135 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func baseInputs() Inputs {
+	return Inputs{
+		Cycles:        1_000_000,
+		Cores:         64,
+		RetiredInstrs: 10_000_000,
+		L1DAccesses:   3_000_000,
+		L1IAccesses:   1_000_000,
+		L1DSize:       32 << 10,
+		TLBAccesses:   3_000_000,
+		L2Accesses:    300_000,
+		MemLines:      50_000,
+		NoCFlitHops:   2_000_000,
+	}
+}
+
+func TestTotalsArePositive(t *testing.T) {
+	b := Compute(baseInputs(), Defaults22nm())
+	if b.Total() <= 0 {
+		t.Fatal("non-positive total")
+	}
+	if b.CPUs <= 0 || b.Caches <= 0 || b.NoC <= 0 || b.Others <= 0 {
+		t.Fatalf("non-positive component: %+v", b)
+	}
+}
+
+func TestCacheBasedHasNoSPMOrCohProt(t *testing.T) {
+	in := baseInputs()
+	in.HasSPM = false
+	b := Compute(in, Defaults22nm())
+	if b.SPMs != 0 || b.CohProt != 0 {
+		t.Fatalf("cache-based charged SPM/CohProt: %+v", b)
+	}
+}
+
+func TestIdealHasNoCohProtStructures(t *testing.T) {
+	in := baseInputs()
+	in.HasSPM = true
+	in.SPMAccesses = 1_000_000
+	in.ProtocolPresent = false
+	b := Compute(in, Defaults22nm())
+	if b.CohProt != 0 {
+		t.Fatalf("ideal coherence charged CohProt: %v", b.CohProt)
+	}
+	if b.SPMs <= 0 {
+		t.Fatal("SPM energy missing")
+	}
+}
+
+func TestFilterGatingWithoutGuardedRefs(t *testing.T) {
+	in := baseInputs()
+	in.HasSPM = true
+	in.ProtocolPresent = true
+	in.GuardedPresent = false
+	gated := Compute(in, Defaults22nm()).CohProt
+	in.GuardedPresent = true
+	ungated := Compute(in, Defaults22nm()).CohProt
+	if gated >= ungated {
+		t.Fatalf("filter gating saved nothing: gated=%v ungated=%v", gated, ungated)
+	}
+}
+
+func TestBiggerL1CostsMore(t *testing.T) {
+	in := baseInputs()
+	small := Compute(in, Defaults22nm()).Caches
+	in.L1DSize = 64 << 10
+	big := Compute(in, Defaults22nm()).Caches
+	if big <= small {
+		t.Fatalf("64KB L1 not more expensive: %v vs %v", big, small)
+	}
+}
+
+func TestSPMAccessCheaperThanL1PlusTLB(t *testing.T) {
+	p := Defaults22nm()
+	if p.SPMPerAccess >= p.L1PerAccess32K+p.TLBPerAccess {
+		t.Fatal("SPM access must be cheaper than L1+TLB (the paper's premise)")
+	}
+}
+
+func TestFewerCyclesLessLeakage(t *testing.T) {
+	in := baseInputs()
+	slow := Compute(in, Defaults22nm()).Total()
+	in.Cycles = in.Cycles / 2
+	fast := Compute(in, Defaults22nm()).Total()
+	if fast >= slow {
+		t.Fatal("halving cycles did not reduce energy")
+	}
+}
+
+// Property: energy is monotone in every dynamic counter.
+func TestMonotoneInCountersProperty(t *testing.T) {
+	p := Defaults22nm()
+	prop := func(extra uint32) bool {
+		in := baseInputs()
+		in.HasSPM = true
+		in.ProtocolPresent = true
+		in.GuardedPresent = true
+		base := Compute(in, p).Total()
+		in.L1DAccesses += uint64(extra)
+		in.NoCFlitHops += uint64(extra)
+		in.FilterLookups += uint64(extra)
+		in.SPMAccesses += uint64(extra)
+		grown := Compute(in, p).Total()
+		return grown >= base
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: breakdown components always sum to Total.
+func TestBreakdownSumProperty(t *testing.T) {
+	p := Defaults22nm()
+	prop := func(a, b, c uint32, hasSPM, prot bool) bool {
+		in := baseInputs()
+		in.HasSPM = hasSPM
+		in.ProtocolPresent = prot
+		in.L1DAccesses = uint64(a)
+		in.L2Accesses = uint64(b)
+		in.SPMAccesses = uint64(c)
+		bd := Compute(in, p)
+		sum := bd.CPUs + bd.Caches + bd.NoC + bd.Others + bd.SPMs + bd.CohProt
+		diff := sum - bd.Total()
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

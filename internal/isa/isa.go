@@ -1,0 +1,264 @@
+// Package isa defines the instruction set of the simulated machine — the
+// vocabulary shared between the compiler pass (which emits instruction
+// streams), the runtime library (which emits DMA commands), and the core
+// model (which executes them).
+//
+// The paper assumes an x86_64 machine where "guarded" memory instructions are
+// normal loads/stores carrying an instruction prefix. Here the guard is an
+// explicit instruction kind; the semantics are identical (see DESIGN.md §2).
+package isa
+
+import "fmt"
+
+// Kind enumerates instruction kinds.
+type Kind int
+
+const (
+	// Compute represents Ops back-to-back ALU/FP operations with no
+	// memory access.
+	Compute Kind = iota
+	// Load is a normal load whose address the compiler proved resides in
+	// global memory (GM) — served by the cache hierarchy.
+	Load
+	// Store is a normal GM store.
+	Store
+	// GuardedLoad is a potentially incoherent load: the compiler could
+	// not prove the address does not alias data mapped to some SPM, so
+	// the hardware must divert it to the valid copy (paper §2.4, §3.2).
+	GuardedLoad
+	// GuardedStore is a potentially incoherent store.
+	GuardedStore
+	// SPMLoad is a load whose address is statically in the SPM virtual
+	// range (strided accesses rewritten by the compiler to SPM buffers).
+	SPMLoad
+	// SPMStore is an SPM store.
+	SPMStore
+	// DMAGet enqueues a dma-get: transfer Bytes from GM address Addr to
+	// SPM address Addr2, completion signalled on Tag.
+	DMAGet
+	// DMAPut enqueues a dma-put: transfer Bytes from SPM address Addr2 to
+	// GM address Addr, completion signalled on Tag.
+	DMAPut
+	// DMASync blocks until every DMA command with tag Tag has completed.
+	DMASync
+	// SetBufSize notifies the hardware of the SPM buffer size chosen for
+	// the upcoming loop; it programs the Base/Offset mask registers used
+	// by the SPMDir, Filter and FilterDir (paper §3.1). Bytes holds the
+	// buffer size, which must be a power of two.
+	SetBufSize
+	// Barrier joins all cores (fork-join parallelism between kernels).
+	Barrier
+	// PhaseBegin marks the start of an execution phase for cycle
+	// attribution (paper Fig. 9 splits control / sync / work).
+	PhaseBegin
+)
+
+var kindNames = map[Kind]string{
+	Compute: "compute", Load: "load", Store: "store",
+	GuardedLoad: "gload", GuardedStore: "gstore",
+	SPMLoad: "spmload", SPMStore: "spmstore",
+	DMAGet: "dmaget", DMAPut: "dmaput", DMASync: "dmasync",
+	SetBufSize: "setbufsz", Barrier: "barrier", PhaseBegin: "phase",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsMemory reports whether the kind accesses the memory system directly
+// (loads and stores of any flavour).
+func (k Kind) IsMemory() bool {
+	switch k {
+	case Load, Store, GuardedLoad, GuardedStore, SPMLoad, SPMStore:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the kind writes memory.
+func (k Kind) IsStore() bool {
+	return k == Store || k == GuardedStore || k == SPMStore
+}
+
+// Phase identifies the execution phase an instruction belongs to, matching
+// the paper's control / synchronization / work split (Fig. 3, Fig. 9).
+type Phase int
+
+const (
+	// PhaseWork is the computation itself (also used for the whole
+	// execution on the cache-based system).
+	PhaseWork Phase = iota
+	// PhaseControl is the runtime-library code mapping chunks to SPMs.
+	PhaseControl
+	// PhaseSync is time spent waiting for DMA transfers.
+	PhaseSync
+
+	// NumPhases is the number of phases.
+	NumPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseWork:
+		return "work"
+	case PhaseControl:
+		return "control"
+	case PhaseSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Inst is one instruction. Field meaning depends on Kind (see the Kind
+// constants). PC drives the instruction-fetch model and the prefetcher's
+// per-PC stride table.
+type Inst struct {
+	Kind  Kind
+	Addr  uint64 // memory address / DMA GM address
+	Addr2 uint64 // DMA SPM address
+	Bytes int    // DMA transfer size / SetBufSize buffer size
+	Ops   int    // Compute: number of ALU operations
+	Tag   int    // DMA tag
+	Phase Phase
+	PC    uint64
+}
+
+// Program is a lazily generated instruction stream for one core. Next
+// returns the next instruction, or ok=false at the end of the stream.
+// Implementations must be deterministic.
+type Program interface {
+	Next() (inst Inst, ok bool)
+}
+
+// SliceProgram adapts a pre-built instruction slice to the Program interface.
+type SliceProgram struct {
+	insts []Inst
+	pos   int
+}
+
+// NewSliceProgram wraps insts.
+func NewSliceProgram(insts []Inst) *SliceProgram {
+	return &SliceProgram{insts: insts}
+}
+
+// Next implements Program.
+func (p *SliceProgram) Next() (Inst, bool) {
+	if p.pos >= len(p.insts) {
+		return Inst{}, false
+	}
+	i := p.insts[p.pos]
+	p.pos++
+	return i, true
+}
+
+// Len returns the total instruction count.
+func (p *SliceProgram) Len() int { return len(p.insts) }
+
+// FuncProgram adapts a generator function to the Program interface.
+type FuncProgram func() (Inst, bool)
+
+// Next implements Program.
+func (f FuncProgram) Next() (Inst, bool) { return f() }
+
+// Chain concatenates programs, draining each in turn.
+func Chain(progs ...Program) Program {
+	idx := 0
+	return FuncProgram(func() (Inst, bool) {
+		for idx < len(progs) {
+			if inst, ok := progs[idx].Next(); ok {
+				return inst, true
+			}
+			idx++
+		}
+		return Inst{}, false
+	})
+}
+
+// Builder incrementally assembles an instruction slice with automatic PC
+// assignment (4 bytes per instruction, x86-ish density). The zero value is
+// ready to use with PC starting at base 0; use NewBuilder to set a code base.
+type Builder struct {
+	insts []Inst
+	pc    uint64
+	phase Phase
+}
+
+// NewBuilder returns a builder whose first instruction sits at codeBase.
+func NewBuilder(codeBase uint64) *Builder {
+	return &Builder{pc: codeBase}
+}
+
+// SetPhase sets the phase attributed to subsequently emitted instructions.
+func (b *Builder) SetPhase(p Phase) *Builder { b.phase = p; return b }
+
+// SetPC repositions the emission PC (used to model runtime-library calls:
+// the callee's code lives at a different address range).
+func (b *Builder) SetPC(pc uint64) *Builder { b.pc = pc; return b }
+
+// PC returns the next instruction's address.
+func (b *Builder) PC() uint64 { return b.pc }
+
+// Emit appends inst, stamping PC and phase.
+func (b *Builder) Emit(inst Inst) *Builder {
+	inst.PC = b.pc
+	inst.Phase = b.phase
+	b.pc += 4
+	b.insts = append(b.insts, inst)
+	return b
+}
+
+// Compute emits n ALU operations.
+func (b *Builder) Compute(n int) *Builder { return b.Emit(Inst{Kind: Compute, Ops: n}) }
+
+// Load emits a GM load.
+func (b *Builder) Load(addr uint64) *Builder { return b.Emit(Inst{Kind: Load, Addr: addr}) }
+
+// Store emits a GM store.
+func (b *Builder) Store(addr uint64) *Builder { return b.Emit(Inst{Kind: Store, Addr: addr}) }
+
+// GuardedLoad emits a potentially incoherent load.
+func (b *Builder) GuardedLoad(addr uint64) *Builder {
+	return b.Emit(Inst{Kind: GuardedLoad, Addr: addr})
+}
+
+// GuardedStore emits a potentially incoherent store.
+func (b *Builder) GuardedStore(addr uint64) *Builder {
+	return b.Emit(Inst{Kind: GuardedStore, Addr: addr})
+}
+
+// SPMLoad emits a load from the SPM virtual range.
+func (b *Builder) SPMLoad(addr uint64) *Builder { return b.Emit(Inst{Kind: SPMLoad, Addr: addr}) }
+
+// SPMStore emits a store to the SPM virtual range.
+func (b *Builder) SPMStore(addr uint64) *Builder { return b.Emit(Inst{Kind: SPMStore, Addr: addr}) }
+
+// DMAGet emits a dma-get command.
+func (b *Builder) DMAGet(gm, spm uint64, bytes, tag int) *Builder {
+	return b.Emit(Inst{Kind: DMAGet, Addr: gm, Addr2: spm, Bytes: bytes, Tag: tag})
+}
+
+// DMAPut emits a dma-put command.
+func (b *Builder) DMAPut(gm, spm uint64, bytes, tag int) *Builder {
+	return b.Emit(Inst{Kind: DMAPut, Addr: gm, Addr2: spm, Bytes: bytes, Tag: tag})
+}
+
+// DMASync emits a dma-synch on tag.
+func (b *Builder) DMASync(tag int) *Builder { return b.Emit(Inst{Kind: DMASync, Tag: tag}) }
+
+// SetBufSize emits the buffer-size notification.
+func (b *Builder) SetBufSize(bytes int) *Builder {
+	return b.Emit(Inst{Kind: SetBufSize, Bytes: bytes})
+}
+
+// Barrier emits a barrier.
+func (b *Builder) Barrier() *Builder { return b.Emit(Inst{Kind: Barrier}) }
+
+// Program returns the assembled program.
+func (b *Builder) Program() *SliceProgram { return NewSliceProgram(b.insts) }
+
+// Insts returns the raw instruction slice (shared, not copied).
+func (b *Builder) Insts() []Inst { return b.insts }

@@ -1,0 +1,157 @@
+package isa
+
+import "testing"
+
+func TestKindPredicates(t *testing.T) {
+	memKinds := []Kind{Load, Store, GuardedLoad, GuardedStore, SPMLoad, SPMStore}
+	for _, k := range memKinds {
+		if !k.IsMemory() {
+			t.Errorf("%v.IsMemory() = false", k)
+		}
+	}
+	nonMem := []Kind{Compute, DMAGet, DMAPut, DMASync, SetBufSize, Barrier, PhaseBegin}
+	for _, k := range nonMem {
+		if k.IsMemory() {
+			t.Errorf("%v.IsMemory() = true", k)
+		}
+	}
+	stores := map[Kind]bool{
+		Store: true, GuardedStore: true, SPMStore: true,
+		Load: false, GuardedLoad: false, SPMLoad: false, Compute: false,
+	}
+	for k, want := range stores {
+		if k.IsStore() != want {
+			t.Errorf("%v.IsStore() = %v, want %v", k, k.IsStore(), want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || GuardedStore.String() != "gstore" {
+		t.Fatalf("String(): %q %q", Load.String(), GuardedStore.String())
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind produced empty string")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseWork.String() != "work" || PhaseControl.String() != "control" || PhaseSync.String() != "sync" {
+		t.Fatal("phase names wrong")
+	}
+}
+
+func TestSliceProgram(t *testing.T) {
+	p := NewSliceProgram([]Inst{{Kind: Load, Addr: 1}, {Kind: Store, Addr: 2}})
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	i1, ok := p.Next()
+	if !ok || i1.Kind != Load || i1.Addr != 1 {
+		t.Fatalf("first = %+v ok=%v", i1, ok)
+	}
+	i2, ok := p.Next()
+	if !ok || i2.Kind != Store {
+		t.Fatalf("second = %+v", i2)
+	}
+	if _, ok := p.Next(); ok {
+		t.Fatal("Next past end returned ok")
+	}
+}
+
+func TestBuilderPCAndPhase(t *testing.T) {
+	b := NewBuilder(0x4000)
+	b.Compute(3).SetPhase(PhaseControl).Load(0x100).SetPhase(PhaseWork).Store(0x200)
+	insts := b.Insts()
+	if len(insts) != 3 {
+		t.Fatalf("len = %d", len(insts))
+	}
+	if insts[0].PC != 0x4000 || insts[1].PC != 0x4004 || insts[2].PC != 0x4008 {
+		t.Fatalf("PCs = %x %x %x", insts[0].PC, insts[1].PC, insts[2].PC)
+	}
+	if insts[0].Phase != PhaseWork || insts[1].Phase != PhaseControl || insts[2].Phase != PhaseWork {
+		t.Fatalf("phases = %v %v %v", insts[0].Phase, insts[1].Phase, insts[2].Phase)
+	}
+	if insts[0].Ops != 3 {
+		t.Fatalf("compute ops = %d", insts[0].Ops)
+	}
+}
+
+func TestBuilderSetPC(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Load(1)
+	b.SetPC(0x9000)
+	b.Load(2)
+	insts := b.Insts()
+	if insts[1].PC != 0x9000 {
+		t.Fatalf("after SetPC, PC = %x", insts[1].PC)
+	}
+}
+
+func TestBuilderDMAEmission(t *testing.T) {
+	b := NewBuilder(0)
+	b.DMAGet(0x1000, 0xF000, 512, 1).DMAPut(0x2000, 0xF200, 256, 2).DMASync(1).SetBufSize(1024).Barrier()
+	insts := b.Insts()
+	get := insts[0]
+	if get.Kind != DMAGet || get.Addr != 0x1000 || get.Addr2 != 0xF000 || get.Bytes != 512 || get.Tag != 1 {
+		t.Fatalf("DMAGet = %+v", get)
+	}
+	put := insts[1]
+	if put.Kind != DMAPut || put.Bytes != 256 || put.Tag != 2 {
+		t.Fatalf("DMAPut = %+v", put)
+	}
+	if insts[2].Kind != DMASync || insts[2].Tag != 1 {
+		t.Fatalf("DMASync = %+v", insts[2])
+	}
+	if insts[3].Kind != SetBufSize || insts[3].Bytes != 1024 {
+		t.Fatalf("SetBufSize = %+v", insts[3])
+	}
+	if insts[4].Kind != Barrier {
+		t.Fatalf("Barrier = %+v", insts[4])
+	}
+}
+
+func TestChain(t *testing.T) {
+	a := NewSliceProgram([]Inst{{Kind: Load, Addr: 1}})
+	b := NewSliceProgram([]Inst{{Kind: Load, Addr: 2}, {Kind: Load, Addr: 3}})
+	c := Chain(a, b)
+	var addrs []uint64
+	for {
+		inst, ok := c.Next()
+		if !ok {
+			break
+		}
+		addrs = append(addrs, inst.Addr)
+	}
+	if len(addrs) != 3 || addrs[0] != 1 || addrs[1] != 2 || addrs[2] != 3 {
+		t.Fatalf("chained addrs = %v", addrs)
+	}
+}
+
+func TestChainEmptyPrograms(t *testing.T) {
+	c := Chain(NewSliceProgram(nil), NewSliceProgram([]Inst{{Kind: Barrier}}), NewSliceProgram(nil))
+	inst, ok := c.Next()
+	if !ok || inst.Kind != Barrier {
+		t.Fatalf("chain skipped empties wrongly: %+v %v", inst, ok)
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("chain not drained")
+	}
+}
+
+func TestFuncProgram(t *testing.T) {
+	n := 0
+	p := FuncProgram(func() (Inst, bool) {
+		if n >= 2 {
+			return Inst{}, false
+		}
+		n++
+		return Inst{Kind: Compute, Ops: n}, true
+	})
+	i1, _ := p.Next()
+	i2, _ := p.Next()
+	_, ok := p.Next()
+	if i1.Ops != 1 || i2.Ops != 2 || ok {
+		t.Fatalf("func program: %d %d %v", i1.Ops, i2.Ops, ok)
+	}
+}

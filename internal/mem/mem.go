@@ -1,0 +1,120 @@
+// Package mem models the off-chip DRAM: a set of memory controllers with a
+// fixed access latency and a per-controller bandwidth limit (one cache line
+// per MemCyclesPerLn cycles).
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Controller is one DRAM channel. Accesses are line-granule.
+type Controller struct {
+	eng           *sim.Engine
+	latency       sim.Time
+	cyclesPerLine sim.Time
+	nextFree      sim.Time
+
+	reads, writes uint64
+	queueDelay    stats.Dist
+}
+
+// NewController builds a controller with the given fixed latency and inverse
+// bandwidth (cycles of channel occupancy per line).
+func NewController(eng *sim.Engine, latency, cyclesPerLine int) *Controller {
+	if latency < 0 || cyclesPerLine <= 0 {
+		panic(fmt.Sprintf("mem: invalid latency=%d cyclesPerLine=%d", latency, cyclesPerLine))
+	}
+	return &Controller{
+		eng:           eng,
+		latency:       sim.Time(latency),
+		cyclesPerLine: sim.Time(cyclesPerLine),
+	}
+}
+
+// Access performs one line-granule DRAM access and calls done when it
+// completes. Writes complete on the same schedule as reads (the channel
+// occupancy is what matters for contention).
+func (c *Controller) Access(write bool, done func()) {
+	if write {
+		c.writes++
+	} else {
+		c.reads++
+	}
+	start := c.eng.Now()
+	if c.nextFree < start {
+		c.nextFree = start
+	}
+	c.queueDelay.Observe(uint64(c.nextFree - start))
+	finish := c.nextFree + c.latency
+	c.nextFree += c.cyclesPerLine
+	c.eng.At(finish, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Reads returns the number of read accesses served.
+func (c *Controller) Reads() uint64 { return c.reads }
+
+// Writes returns the number of write accesses served.
+func (c *Controller) Writes() uint64 { return c.writes }
+
+// QueueDelay returns the distribution of cycles spent waiting for the channel.
+func (c *Controller) QueueDelay() stats.Dist { return c.queueDelay }
+
+// System is a group of address-interleaved controllers, each attached to a
+// NoC node.
+type System struct {
+	ctrls    []*Controller
+	nodes    []int
+	lineSize int
+}
+
+// NewSystem builds n controllers attached to the given mesh nodes.
+// Lines are interleaved across controllers by line address.
+func NewSystem(eng *sim.Engine, nodes []int, lineSize, latency, cyclesPerLine int) *System {
+	if len(nodes) == 0 {
+		panic("mem: need at least one controller node")
+	}
+	s := &System{nodes: nodes, lineSize: lineSize}
+	for range nodes {
+		s.ctrls = append(s.ctrls, NewController(eng, latency, cyclesPerLine))
+	}
+	return s
+}
+
+// ControllerFor returns the controller index owning a physical line address.
+func (s *System) ControllerFor(lineAddr uint64) int {
+	return int(lineAddr % uint64(len(s.ctrls)))
+}
+
+// Node returns the mesh node a controller is attached to.
+func (s *System) Node(ctrl int) int { return s.nodes[ctrl] }
+
+// Controller returns the i-th controller.
+func (s *System) Controller(i int) *Controller { return s.ctrls[i] }
+
+// Count returns the number of controllers.
+func (s *System) Count() int { return len(s.ctrls) }
+
+// TotalReads sums reads over all controllers.
+func (s *System) TotalReads() uint64 {
+	var t uint64
+	for _, c := range s.ctrls {
+		t += c.reads
+	}
+	return t
+}
+
+// TotalWrites sums writes over all controllers.
+func (s *System) TotalWrites() uint64 {
+	var t uint64
+	for _, c := range s.ctrls {
+		t += c.writes
+	}
+	return t
+}

@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSingleAccessLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewController(eng, 100, 4)
+	var done sim.Time
+	c.Access(false, func() { done = eng.Now() })
+	eng.Run()
+	if done != 100 {
+		t.Fatalf("access completed at %d, want 100", done)
+	}
+	if c.Reads() != 1 || c.Writes() != 0 {
+		t.Fatalf("reads=%d writes=%d", c.Reads(), c.Writes())
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewController(eng, 100, 4)
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		c.Access(false, func() { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	want := []sim.Time{100, 104, 108}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestChannelRecoversAfterIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewController(eng, 10, 4)
+	var second sim.Time
+	c.Access(false, nil)
+	eng.Schedule(50, func() {
+		c.Access(false, func() { second = eng.Now() })
+	})
+	eng.Run()
+	if second != 60 {
+		t.Fatalf("post-idle access completed at %d, want 60", second)
+	}
+}
+
+func TestWriteCounting(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewController(eng, 10, 1)
+	c.Access(true, nil)
+	c.Access(true, nil)
+	c.Access(false, nil)
+	eng.Run()
+	if c.Writes() != 2 || c.Reads() != 1 {
+		t.Fatalf("writes=%d reads=%d", c.Writes(), c.Reads())
+	}
+}
+
+func TestQueueDelayObserved(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewController(eng, 10, 5)
+	c.Access(false, nil)
+	c.Access(false, nil)
+	eng.Run()
+	d := c.QueueDelay()
+	if d.Count != 2 || d.Min != 0 || d.Max != 5 {
+		t.Fatalf("queue delay = %+v", d)
+	}
+}
+
+func TestSystemInterleaving(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSystem(eng, []int{0, 7, 56, 63}, 64, 100, 4)
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	seen := map[int]bool{}
+	for line := uint64(0); line < 16; line++ {
+		idx := s.ControllerFor(line)
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("ControllerFor(%d) = %d", line, idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("interleaving uses %d of 4 controllers", len(seen))
+	}
+	if s.Node(1) != 7 {
+		t.Fatalf("Node(1) = %d, want 7", s.Node(1))
+	}
+}
+
+func TestSystemTotals(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSystem(eng, []int{0, 1}, 64, 10, 1)
+	s.Controller(0).Access(false, nil)
+	s.Controller(1).Access(true, nil)
+	s.Controller(1).Access(false, nil)
+	eng.Run()
+	if s.TotalReads() != 2 || s.TotalWrites() != 1 {
+		t.Fatalf("totals: r=%d w=%d", s.TotalReads(), s.TotalWrites())
+	}
+}
+
+func TestInvalidControllerPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewController with zero bandwidth did not panic")
+		}
+	}()
+	NewController(eng, 10, 0)
+}
+
+func TestEmptySystemPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSystem with no nodes did not panic")
+		}
+	}()
+	NewSystem(eng, nil, 64, 10, 1)
+}
+
+// Property: with k back-to-back accesses, the last completes exactly at
+// latency + (k-1)*cyclesPerLine — the channel never loses or invents slots.
+func TestBandwidthConservationProperty(t *testing.T) {
+	prop := func(k uint8, lat, cpl uint8) bool {
+		n := int(k%32) + 1
+		latency := int(lat%50) + 1
+		perLine := int(cpl%8) + 1
+		eng := sim.NewEngine()
+		c := NewController(eng, latency, perLine)
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			c.Access(false, func() { last = eng.Now() })
+		}
+		eng.Run()
+		return last == sim.Time(latency+(n-1)*perLine)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package noc models the on-chip interconnect: a 2D mesh of routers with XY
+// dimension-order routing, one-cycle routers and links (Table 1), packet
+// serialization into link-width flits, and per-link bandwidth contention.
+//
+// Every message carries a traffic Category so the harness can reproduce the
+// paper's Figure 10 breakdown (Ifetch / Read / Write / WB-Repl / DMA /
+// CohProt).
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Category classifies NoC traffic for accounting (paper Fig. 10).
+type Category int
+
+const (
+	// Ifetch is instruction-fetch traffic.
+	Ifetch Category = iota
+	// Read is data-cache read traffic: requests, data and acks.
+	Read
+	// Write is data-cache write traffic, including prefetches.
+	Write
+	// WBRepl is write-back/replacement/invalidation traffic.
+	WBRepl
+	// DMA is scratchpad DMA transfer traffic.
+	DMA
+	// CohProt is traffic added by the paper's SPM coherence protocol.
+	CohProt
+
+	// NumCategories is the number of traffic categories.
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{"Ifetch", "Read", "Write", "WB-Repl", "DMA", "CohProt"}
+
+func (c Category) String() string {
+	if c < 0 || c >= NumCategories {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// direction indexes the four outgoing links of a router.
+type direction int
+
+const (
+	east direction = iota
+	west
+	north
+	south
+	numDirs
+)
+
+// Mesh is the interconnect. Nodes are numbered row-major: node id = y*W + x.
+type Mesh struct {
+	eng       *sim.Engine
+	w, h      int
+	flitBytes int
+	linkBW    int // flits per cycle per link
+	linkLat   sim.Time
+	routerLat sim.Time
+
+	// linkFree[node][dir] is the first cycle the link leaving node in
+	// direction dir is available.
+	linkFree [][numDirs]sim.Time
+
+	pkts     [NumCategories]uint64
+	flits    [NumCategories]uint64
+	flitHops [NumCategories]uint64
+	latency  stats.Dist
+}
+
+// New builds a W×H mesh on the engine. flitBytes is the link width;
+// linkLat/routerLat are per-hop latencies in cycles. Links accept one flit
+// per cycle; use NewBW for multi-flit (virtual-channel style) links.
+func New(eng *sim.Engine, w, h, flitBytes, linkLat, routerLat int) *Mesh {
+	return NewBW(eng, w, h, flitBytes, 1, linkLat, routerLat)
+}
+
+// NewBW builds a mesh whose links accept linkBW flits per cycle.
+func NewBW(eng *sim.Engine, w, h, flitBytes, linkBW, linkLat, routerLat int) *Mesh {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("noc: invalid mesh %dx%d", w, h))
+	}
+	if flitBytes <= 0 || linkBW <= 0 {
+		panic("noc: flitBytes and linkBW must be positive")
+	}
+	return &Mesh{
+		eng:       eng,
+		w:         w,
+		h:         h,
+		flitBytes: flitBytes,
+		linkBW:    linkBW,
+		linkLat:   sim.Time(linkLat),
+		routerLat: sim.Time(routerLat),
+		linkFree:  make([][numDirs]sim.Time, w*h),
+	}
+}
+
+// occupancy returns the cycles a packet of flits holds one link.
+func (m *Mesh) occupancy(flits int) sim.Time {
+	return sim.Time((flits + m.linkBW - 1) / m.linkBW)
+}
+
+// Nodes returns the number of mesh nodes.
+func (m *Mesh) Nodes() int { return m.w * m.h }
+
+// Flits returns how many flits a payload of n bytes occupies (minimum 1: the
+// head flit carries the address/command).
+func (m *Mesh) Flits(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + m.flitBytes - 1) / m.flitBytes
+}
+
+// Hops returns the XY-routing hop count between two nodes.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := src%m.w, src/m.w
+	dx, dy := dst%m.w, dst/m.w
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Send injects a packet of size bytes from src to dst and invokes deliver at
+// the destination once the head flit arrives and the tail flit has been
+// serialized. Contention is modelled by per-link bandwidth reservation: a
+// packet of F flits occupies each traversed link for F cycles.
+func (m *Mesh) Send(src, dst, bytes int, cat Category, deliver func()) {
+	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
+		panic(fmt.Sprintf("noc: send %d->%d outside %d-node mesh", src, dst, m.Nodes()))
+	}
+	flits := m.Flits(bytes)
+	m.pkts[cat]++
+	m.flits[cat] += uint64(flits)
+	m.flitHops[cat] += uint64(flits * m.Hops(src, dst))
+
+	start := m.eng.Now()
+	if src == dst {
+		// Local delivery still pays the router traversal.
+		m.eng.Schedule(m.routerLat, func() {
+			m.latency.Observe(uint64(m.eng.Now() - start))
+			if deliver != nil {
+				deliver()
+			}
+		})
+		return
+	}
+	m.hop(src, dst, flits, start, deliver)
+}
+
+// hop advances the packet one link along the XY route, reserving bandwidth.
+func (m *Mesh) hop(cur, dst, flits int, start sim.Time, deliver func()) {
+	next, dir := m.xyNext(cur, dst)
+
+	// Reserve the outgoing link: the packet's tail occupies it for one
+	// cycle per flit. Queueing delay is the gap until the link frees.
+	ready := m.eng.Now()
+	if m.linkFree[cur][dir] > ready {
+		ready = m.linkFree[cur][dir]
+	}
+	m.linkFree[cur][dir] = ready + m.occupancy(flits)
+
+	depart := ready - m.eng.Now()
+	arrive := depart + m.routerLat + m.linkLat
+	if next == dst {
+		// Tail serialization only charged once, at the final hop;
+		// intermediate hops pipeline flits.
+		arrive += m.occupancy(flits) - 1
+		m.eng.Schedule(arrive, func() {
+			m.latency.Observe(uint64(m.eng.Now() - start))
+			if deliver != nil {
+				deliver()
+			}
+		})
+		return
+	}
+	m.eng.Schedule(arrive, func() { m.hop(next, dst, flits, start, deliver) })
+}
+
+// xyNext returns the neighbour on the XY route toward dst and the link
+// direction used to reach it.
+func (m *Mesh) xyNext(cur, dst int) (int, direction) {
+	cx, cy := cur%m.w, cur/m.w
+	dx, dy := dst%m.w, dst/m.w
+	switch {
+	case cx < dx:
+		return cur + 1, east
+	case cx > dx:
+		return cur - 1, west
+	case cy < dy:
+		return cur + m.w, south
+	case cy > dy:
+		return cur - m.w, north
+	default:
+		panic("noc: xyNext called with cur == dst")
+	}
+}
+
+// Packets returns the packet count for one category.
+func (m *Mesh) Packets(cat Category) uint64 { return m.pkts[cat] }
+
+// TotalPackets sums packets across all categories.
+func (m *Mesh) TotalPackets() uint64 {
+	var t uint64
+	for _, v := range m.pkts {
+		t += v
+	}
+	return t
+}
+
+// FlitHops returns flit·hop work for one category; this is the quantity the
+// energy model charges per-link traversal energy on.
+func (m *Mesh) FlitHops(cat Category) uint64 { return m.flitHops[cat] }
+
+// TotalFlitHops sums flit-hops across all categories.
+func (m *Mesh) TotalFlitHops() uint64 {
+	var t uint64
+	for _, v := range m.flitHops {
+		t += v
+	}
+	return t
+}
+
+// Latency returns the packet latency distribution observed so far.
+func (m *Mesh) Latency() stats.Dist { return m.latency }
+
+// Counters exports all traffic counters as a stats.Set (used by reports).
+func (m *Mesh) Counters() *stats.Set {
+	s := stats.NewSet("noc")
+	for c := Category(0); c < NumCategories; c++ {
+		s.Add("pkts."+c.String(), m.pkts[c])
+		s.Add("flits."+c.String(), m.flits[c])
+		s.Add("flithops."+c.String(), m.flitHops[c])
+	}
+	return s
+}

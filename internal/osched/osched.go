@@ -1,0 +1,244 @@
+// Package osched models the operating-system support of paper §4.1: the
+// process-structure extensions and context-switch machinery that make the
+// hybrid memory system backwards compatible.
+//
+//   - Every process records whether it is SPM-enabled and, if so, the values
+//     of the eight SPM address-mapping registers. Legacy processes run with
+//     the mapping disabled, so the SPMs are simply invisible to them.
+//   - SPM contents are switched lazily, the way Linux handles the FP register
+//     file: on a context switch the SPM is NOT saved; instead SPM access is
+//     disabled, and only when some process actually touches an SPM whose
+//     contents belong to another process does the OS spill and reload it.
+//   - A per-core permission register holds one bit per SPM in the system;
+//     accessing an SPM whose bit is clear raises an exception that the OS
+//     services (possibly triggering the lazy switch).
+//   - The OS powers down SPMs no runnable process uses, saving their leakage.
+package osched
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PID identifies a process.
+type PID int
+
+// Process is the OS view of one process (§4.1's process-structure fields).
+type Process struct {
+	ID         PID
+	SPMEnabled bool
+	// MappingRegs stands for the eight virtual/physical SPM range
+	// registers saved and restored at context switch.
+	MappingRegs [8]uint64
+}
+
+// Costs parameterizes the context-switch overheads in cycles.
+type Costs struct {
+	RegisterSwap int // save+restore the 8 mapping registers
+	SPMSpill     int // write one SPM's contents back to memory
+	SPMFill      int // load one SPM's contents from memory
+	Exception    int // trap entry/exit for a permission fault
+}
+
+// DefaultCosts returns cycle costs in line with §4.1's "minor changes /
+// without impacting performance": register swaps are trivial; spills move a
+// whole 32 KB SPM through the DMA engine.
+func DefaultCosts() Costs {
+	return Costs{RegisterSwap: 40, SPMSpill: 1500, SPMFill: 1500, Exception: 300}
+}
+
+// coreState tracks what the OS knows about one core and its SPM.
+type coreState struct {
+	running PID
+	// spmOwner is the process whose data currently sits in this core's
+	// SPM; 0 (PIDNone) when the SPM is clean/empty.
+	spmOwner PID
+	// perms[i] is the access bit for SPM i in this core's permission
+	// register.
+	perms []bool
+	// powered reports whether this core's SPM is powered up.
+	powered bool
+}
+
+// PIDNone marks an empty slot.
+const PIDNone PID = 0
+
+// Scheduler is the OS scheduler model.
+type Scheduler struct {
+	eng   *sim.Engine
+	costs Costs
+	procs map[PID]*Process
+	cores []coreState
+
+	switches   uint64
+	lazySkips  uint64 // SPM saves avoided by laziness
+	spills     uint64
+	fills      uint64
+	exceptions uint64
+	cyclesLost uint64
+}
+
+// New builds a scheduler for a machine with cores cores (one SPM each).
+func New(eng *sim.Engine, cores int, costs Costs) *Scheduler {
+	if cores <= 0 {
+		panic("osched: no cores")
+	}
+	s := &Scheduler{eng: eng, costs: costs, procs: map[PID]*Process{}}
+	for i := 0; i < cores; i++ {
+		s.cores = append(s.cores, coreState{
+			running:  PIDNone,
+			spmOwner: PIDNone,
+			perms:    make([]bool, cores),
+		})
+	}
+	return s
+}
+
+// Register adds a process. SPM-enabled processes get mapping registers
+// configured at creation (the paper: "whenever a SPM-enabled application
+// starts, the OS configures the registers ... and stores their values").
+func (s *Scheduler) Register(p *Process) {
+	if p.ID == PIDNone {
+		panic("osched: PID 0 is reserved")
+	}
+	if _, dup := s.procs[p.ID]; dup {
+		panic(fmt.Sprintf("osched: duplicate PID %d", p.ID))
+	}
+	cp := *p
+	s.procs[p.ID] = &cp
+}
+
+// Running returns the process occupying core.
+func (s *Scheduler) Running(core int) PID { return s.cores[core].running }
+
+// SPMPowered reports whether core's SPM is powered.
+func (s *Scheduler) SPMPowered(core int) bool { return s.cores[core].powered }
+
+// Switch schedules process pid onto core and returns the cycle cost charged
+// to the switch. The SPM contents are switched lazily: this only swaps the
+// mapping registers and flips permissions; any spill/fill is deferred to the
+// first faulting access.
+func (s *Scheduler) Switch(core int, pid PID) int {
+	p, ok := s.procs[pid]
+	if !ok {
+		panic(fmt.Sprintf("osched: unknown PID %d", pid))
+	}
+	cs := &s.cores[core]
+	cost := 0
+	if cs.running != PIDNone {
+		cost += s.costs.RegisterSwap // save outgoing mapping registers
+	}
+	cs.running = pid
+	s.switches++
+
+	if p.SPMEnabled {
+		cost += s.costs.RegisterSwap // restore incoming mapping registers
+		// Grant access to the local SPM only; remote-SPM permissions
+		// are granted when sibling threads of the same job run there.
+		for i := range cs.perms {
+			cs.perms[i] = false
+		}
+		cs.perms[core] = true
+		cs.powered = true
+		if cs.spmOwner != PIDNone && cs.spmOwner != pid {
+			// Lazy: do NOT spill yet.
+			s.lazySkips++
+			cs.perms[core] = false // first touch will fault
+		}
+	} else {
+		// Legacy process: mapping disabled, SPMs inaccessible. The SPM
+		// keeps the previous owner's data (lazy) but is powered down
+		// if it holds nothing.
+		for i := range cs.perms {
+			cs.perms[i] = false
+		}
+		if cs.spmOwner == PIDNone {
+			cs.powered = false
+		}
+	}
+	s.cyclesLost += uint64(cost)
+	return cost
+}
+
+// GrantRemote lets the process on core access sibling SPM remote (fork-join
+// threads of one job share all of that job's SPMs).
+func (s *Scheduler) GrantRemote(core, remote int) {
+	s.cores[core].perms[remote] = true
+}
+
+// Access models one SPM access by the process on core targeting the SPM of
+// core spmIdx. It returns the extra cycles the access suffers (0 on the
+// common fast path) and whether it was allowed at all after OS service.
+// A clear permission bit raises an exception (§4.1); if the fault is a lazy
+// SPM switch, the OS spills the old contents, reloads the new owner's, sets
+// the bit and resumes.
+func (s *Scheduler) Access(core, spmIdx int) (penalty int, ok bool) {
+	cs := &s.cores[core]
+	p := s.procs[cs.running]
+	if p == nil || !p.SPMEnabled {
+		// Legacy code cannot generate SPM addresses at all (mapping
+		// disabled): treat as a fault with no service.
+		s.exceptions++
+		return s.costs.Exception, false
+	}
+	if cs.perms[spmIdx] {
+		return 0, true
+	}
+	s.exceptions++
+	penalty = s.costs.Exception
+	if spmIdx == core && cs.spmOwner != PIDNone && cs.spmOwner != cs.running {
+		// Lazy SPM switch: spill the previous owner, fill ours.
+		penalty += s.costs.SPMSpill + s.costs.SPMFill
+		s.spills++
+		s.fills++
+		cs.spmOwner = cs.running
+		cs.perms[core] = true
+		s.cyclesLost += uint64(penalty)
+		return penalty, true
+	}
+	if spmIdx == core {
+		// First use on a clean SPM: just claim it.
+		cs.spmOwner = cs.running
+		cs.perms[core] = true
+		cs.powered = true
+		s.cyclesLost += uint64(penalty)
+		return penalty, true
+	}
+	// Touching a remote SPM without a grant is a protection error the OS
+	// surfaces to the process.
+	s.cyclesLost += uint64(penalty)
+	return penalty, false
+}
+
+// MarkSPMUse records that the process on core has populated its SPM (called
+// when the runtime issues its first dma-get after a switch).
+func (s *Scheduler) MarkSPMUse(core int) {
+	cs := &s.cores[core]
+	cs.spmOwner = cs.running
+	cs.powered = true
+}
+
+// PowerDownIdle powers off every SPM whose contents belong to no live
+// SPM-enabled process (the §4.1 energy knob). It returns how many SPMs were
+// gated.
+func (s *Scheduler) PowerDownIdle() int {
+	n := 0
+	for i := range s.cores {
+		cs := &s.cores[i]
+		owner := s.procs[cs.spmOwner]
+		runner := s.procs[cs.running]
+		ownerLive := owner != nil && owner.SPMEnabled
+		runnerUses := runner != nil && runner.SPMEnabled
+		if cs.powered && !ownerLive && !runnerUses {
+			cs.powered = false
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns (switches, lazy saves avoided, spills, exceptions, cycles).
+func (s *Scheduler) Stats() (switches, lazySkips, spills, exceptions, cycles uint64) {
+	return s.switches, s.lazySkips, s.spills, s.exceptions, s.cyclesLost
+}

@@ -1,0 +1,164 @@
+package osched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newSched(t *testing.T) *Scheduler {
+	t.Helper()
+	return New(sim.NewEngine(), 4, DefaultCosts())
+}
+
+func TestLegacyProcessCannotSeeSPMs(t *testing.T) {
+	s := newSched(t)
+	s.Register(&Process{ID: 1, SPMEnabled: false})
+	cost := s.Switch(0, 1)
+	if cost != 0 {
+		t.Fatalf("legacy switch onto idle core cost %d, want 0 (no registers to restore)", cost)
+	}
+	if s.SPMPowered(0) {
+		t.Fatal("idle SPM stayed powered under a legacy process")
+	}
+	if pen, ok := s.Access(0, 0); ok || pen == 0 {
+		t.Fatalf("legacy SPM access allowed (pen=%d ok=%v)", pen, ok)
+	}
+}
+
+func TestSPMEnabledFastPath(t *testing.T) {
+	s := newSched(t)
+	s.Register(&Process{ID: 2, SPMEnabled: true})
+	s.Switch(1, 2)
+	pen, ok := s.Access(1, 1)
+	if !ok || pen != 0 {
+		t.Fatalf("local SPM access after switch: pen=%d ok=%v, want fast path", pen, ok)
+	}
+	if !s.SPMPowered(1) {
+		t.Fatal("SPM not powered for an SPM-enabled process")
+	}
+}
+
+func TestLazySPMSwitch(t *testing.T) {
+	s := newSched(t)
+	s.Register(&Process{ID: 2, SPMEnabled: true})
+	s.Register(&Process{ID: 3, SPMEnabled: true})
+	s.Switch(0, 2)
+	s.MarkSPMUse(0) // process 2 fills its SPM
+
+	// Switch to process 3: contents must NOT be saved yet.
+	s.Switch(0, 3)
+	_, lazy, spills, _, _ := s.Stats()
+	if lazy != 1 {
+		t.Fatalf("lazySkips = %d, want 1", lazy)
+	}
+	if spills != 0 {
+		t.Fatalf("spills = %d, want 0 (lazy)", spills)
+	}
+
+	// First touch by process 3 faults, spills 2's contents, fills 3's.
+	pen, ok := s.Access(0, 0)
+	if !ok {
+		t.Fatal("lazy-switch fault not serviced")
+	}
+	c := DefaultCosts()
+	if pen != c.Exception+c.SPMSpill+c.SPMFill {
+		t.Fatalf("fault penalty = %d, want %d", pen, c.Exception+c.SPMSpill+c.SPMFill)
+	}
+	_, _, spills, exc, _ := s.Stats()
+	if spills != 1 || exc != 1 {
+		t.Fatalf("spills=%d exceptions=%d", spills, exc)
+	}
+
+	// Subsequent accesses are back on the fast path.
+	if pen, ok := s.Access(0, 0); !ok || pen != 0 {
+		t.Fatalf("post-fault access pen=%d ok=%v", pen, ok)
+	}
+}
+
+func TestSameProcessReschedulesWithoutFault(t *testing.T) {
+	s := newSched(t)
+	s.Register(&Process{ID: 2, SPMEnabled: true})
+	s.Register(&Process{ID: 9, SPMEnabled: false})
+	s.Switch(0, 2)
+	s.MarkSPMUse(0)
+	s.Switch(0, 9) // legacy interlude; SPM contents stay (lazy)
+	s.Switch(0, 2) // process 2 returns
+	if pen, ok := s.Access(0, 0); !ok || pen != 0 {
+		t.Fatalf("returning owner faulted: pen=%d ok=%v", pen, ok)
+	}
+	_, _, spills, _, _ := s.Stats()
+	if spills != 0 {
+		t.Fatalf("spills = %d, want 0 (contents were still the owner's)", spills)
+	}
+}
+
+func TestRemoteSPMNeedsGrant(t *testing.T) {
+	s := newSched(t)
+	s.Register(&Process{ID: 2, SPMEnabled: true})
+	s.Switch(0, 2)
+	if _, ok := s.Access(0, 3); ok {
+		t.Fatal("remote SPM access allowed without a grant")
+	}
+	s.GrantRemote(0, 3)
+	if pen, ok := s.Access(0, 3); !ok || pen != 0 {
+		t.Fatalf("granted remote access pen=%d ok=%v", pen, ok)
+	}
+}
+
+func TestPowerDownIdle(t *testing.T) {
+	s := newSched(t)
+	s.Register(&Process{ID: 2, SPMEnabled: true})
+	s.Register(&Process{ID: 9, SPMEnabled: false})
+	s.Switch(0, 2)
+	s.MarkSPMUse(0)
+	// Process 2 exits; a legacy process takes the core.
+	delete(s.procs, 2)
+	s.Switch(0, 9)
+	if n := s.PowerDownIdle(); n != 1 {
+		t.Fatalf("PowerDownIdle gated %d SPMs, want 1", n)
+	}
+	if s.SPMPowered(0) {
+		t.Fatal("SPM still powered after gating")
+	}
+}
+
+func TestSwitchCostAccounting(t *testing.T) {
+	s := newSched(t)
+	s.Register(&Process{ID: 2, SPMEnabled: true})
+	s.Register(&Process{ID: 3, SPMEnabled: true})
+	c1 := s.Switch(0, 2) // restore only
+	c2 := s.Switch(0, 3) // save + restore
+	c := DefaultCosts()
+	if c1 != c.RegisterSwap {
+		t.Fatalf("first switch cost %d, want %d", c1, c.RegisterSwap)
+	}
+	if c2 != 2*c.RegisterSwap {
+		t.Fatalf("second switch cost %d, want %d", c2, 2*c.RegisterSwap)
+	}
+	_, _, _, _, cyc := s.Stats()
+	if cyc != uint64(c1+c2) {
+		t.Fatalf("cyclesLost = %d, want %d", cyc, c1+c2)
+	}
+}
+
+func TestDuplicatePIDPanics(t *testing.T) {
+	s := newSched(t)
+	s.Register(&Process{ID: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate PID accepted")
+		}
+	}()
+	s.Register(&Process{ID: 2})
+}
+
+func TestUnknownPIDPanics(t *testing.T) {
+	s := newSched(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown PID accepted")
+		}
+	}()
+	s.Switch(0, 42)
+}

@@ -1,0 +1,214 @@
+// Package report renders the paper's tables and figures from simulation
+// results as plain-text tables (and CSV rows), one function per exhibit.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/noc"
+	"repro/internal/system"
+)
+
+// Table1 prints the machine description (paper Table 1).
+func Table1(w io.Writer, cfg config.Config) {
+	fmt.Fprintf(w, "Table 1: main simulator parameters\n")
+	rows := [][2]string{
+		{"Cores", fmt.Sprintf("%d cores, out-of-order approx, %d-wide, mesh %dx%d",
+			cfg.Cores, cfg.IssueWidth, cfg.MeshWidth, cfg.MeshHeight)},
+		{"Pipeline", fmt.Sprintf("%d-cycle flush; ROB %d, IQ %d, LQ/SQ %d/%d, MLP window %d",
+			cfg.PipelineDepth, cfg.ROBEntries, cfg.IQEntries, cfg.LQEntries, cfg.SQEntries, cfg.CoreMLP)},
+		{"L1 I-cache", fmt.Sprintf("%d cycles, %d KB, %d-way, pseudoLRU", cfg.L1ILatency, cfg.L1ISize>>10, cfg.L1IAssoc)},
+		{"L1 D-cache", fmt.Sprintf("%d cycles, %d KB, %d-way, pseudoLRU, stride prefetcher (deg %d, dist %d)",
+			cfg.L1DLatency, cfg.L1DSize>>10, cfg.L1DAssoc, cfg.PrefetchDegree, cfg.PrefetchDistance)},
+		{"L2 cache", fmt.Sprintf("shared NUCA, %d KB/core slice, %d cycles, %d-way",
+			cfg.L2SliceSize>>10, cfg.L2Latency, cfg.L2Assoc)},
+		{"Coherence", fmt.Sprintf("MOESI-style directory with blocking states, %d B lines", cfg.LineSize)},
+		{"NoC", fmt.Sprintf("mesh, link %d cycle, router %d cycle, %d B flits x%d",
+			cfg.LinkLatency, cfg.RouterLatency, cfg.FlitBytes, cfg.LinkBandwidth)},
+		{"DRAM", fmt.Sprintf("%d controllers, %d-cycle latency, 1 line/%d cycles each",
+			cfg.MemControllers, cfg.MemLatency, cfg.MemCyclesPerLn)},
+		{"SPM", fmt.Sprintf("%d cycles, %d KB, per core", cfg.SPMLatency, cfg.SPMSize>>10)},
+		{"DMAC", fmt.Sprintf("cmd queue %d, bus queue %d, in-order", cfg.DMACmdQueue, cfg.DMABusQueue)},
+		{"SPMDir", fmt.Sprintf("%d entries", cfg.SPMDirEntries)},
+		{"Filter", fmt.Sprintf("%d entries, fully associative, pseudoLRU", cfg.FilterEntries)},
+		{"FilterDir", fmt.Sprintf("distributed, %d entries, fully associative", cfg.FilterDirEntries)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12s %s\n", r[0], r[1])
+	}
+}
+
+// Table2 prints the benchmark characterization (paper Table 2).
+func Table2(w io.Writer, benches []*compiler.Benchmark) {
+	fmt.Fprintln(w, "Table 2: benchmarks and memory access characterization")
+	fmt.Fprintf(w, "  %-6s %-8s %-10s %-12s %-13s %-12s\n",
+		"Name", "Kernels", "SPM refs", "SPM data", "Guarded refs", "Guarded data")
+	for _, b := range benches {
+		c := compiler.Characterize(b)
+		fmt.Fprintf(w, "  %-6s %-8d %-10d %-12s %-13d %-12s\n",
+			c.Name, c.Kernels, c.SPMRefs, fmtBytes(c.SPMBytes), c.GuardedRefs, fmtBytes(c.GuardBytes))
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Fig7 prints the coherence-protocol overheads: hybrid-real normalized to
+// hybrid-ideal in execution time, energy and NoC traffic.
+func Fig7(w io.Writer, names []string, real, ideal map[string]system.Results) {
+	fmt.Fprintln(w, "Figure 7: overhead of the coherence protocol vs ideal coherence (x)")
+	fmt.Fprintf(w, "  %-6s %-15s %-10s %-12s\n", "Bench", "Execution time", "Energy", "NoC traffic")
+	var st, se, sp float64
+	for _, n := range names {
+		r, id := real[n], ideal[n]
+		t := ratio(float64(r.Cycles), float64(id.Cycles))
+		e := ratio(r.Energy.Total(), id.Energy.Total())
+		p := ratio(float64(r.TotalPkts), float64(id.TotalPkts))
+		st += t
+		se += e
+		sp += p
+		fmt.Fprintf(w, "  %-6s %-15.3f %-10.3f %-12.3f\n", n, t, e, p)
+	}
+	k := float64(len(names))
+	fmt.Fprintf(w, "  %-6s %-15.3f %-10.3f %-12.3f\n", "avg", st/k, se/k, sp/k)
+}
+
+// Fig8 prints the filter hit ratios.
+func Fig8(w io.Writer, names []string, real map[string]system.Results) {
+	fmt.Fprintln(w, "Figure 8: filter hit ratio (%)")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-6s %6.2f\n", n, real[n].FilterHitRatio*100)
+	}
+}
+
+// Fig9 prints cache-based vs hybrid execution time, normalized to the
+// cache-based system and split into control / sync / work phases.
+func Fig9(w io.Writer, names []string, cacheRes, hybrid map[string]system.Results) {
+	fmt.Fprintln(w, "Figure 9: performance, normalized cycles (C = cache-based, H = hybrid)")
+	fmt.Fprintf(w, "  %-6s %-4s %-8s %-9s %-9s %-9s %-9s\n",
+		"Bench", "Sys", "Total", "Control", "Sync", "Work", "Speedup")
+	var sum float64
+	for _, n := range names {
+		c, h := cacheRes[n], hybrid[n]
+		base := float64(c.Cycles)
+		printBar := func(tag string, r system.Results) {
+			tot := float64(r.PhaseCycles[isa.PhaseControl] + r.PhaseCycles[isa.PhaseSync] + r.PhaseCycles[isa.PhaseWork])
+			if tot == 0 {
+				tot = 1
+			}
+			scale := float64(r.Cycles) / base
+			fmt.Fprintf(w, "  %-6s %-4s %-8.3f %-9.3f %-9.3f %-9.3f",
+				n, tag, scale,
+				scale*float64(r.PhaseCycles[isa.PhaseControl])/tot,
+				scale*float64(r.PhaseCycles[isa.PhaseSync])/tot,
+				scale*float64(r.PhaseCycles[isa.PhaseWork])/tot)
+		}
+		printBar("C", c)
+		fmt.Fprintln(w)
+		printBar("H", h)
+		sp := ratio(float64(c.Cycles), float64(h.Cycles))
+		sum += sp
+		fmt.Fprintf(w, " %.3fx\n", sp)
+	}
+	fmt.Fprintf(w, "  average speedup: %.3fx\n", sum/float64(len(names)))
+}
+
+// Fig10 prints the NoC traffic breakdown, normalized to the cache system.
+func Fig10(w io.Writer, names []string, cacheRes, hybrid map[string]system.Results) {
+	fmt.Fprintln(w, "Figure 10: NoC traffic, packets normalized to cache-based")
+	fmt.Fprintf(w, "  %-6s %-4s %-7s", "Bench", "Sys", "Total")
+	for c := noc.Category(0); c < noc.NumCategories; c++ {
+		fmt.Fprintf(w, " %-9s", c)
+	}
+	fmt.Fprintln(w)
+	var sum float64
+	for _, n := range names {
+		c, h := cacheRes[n], hybrid[n]
+		base := float64(c.TotalPkts)
+		row := func(tag string, r system.Results) {
+			fmt.Fprintf(w, "  %-6s %-4s %-7.3f", n, tag, float64(r.TotalPkts)/base)
+			for cat := noc.Category(0); cat < noc.NumCategories; cat++ {
+				fmt.Fprintf(w, " %-9.3f", float64(r.NoCPackets[cat])/base)
+			}
+			fmt.Fprintln(w)
+		}
+		row("C", c)
+		row("H", h)
+		sum += float64(h.TotalPkts) / base
+	}
+	fmt.Fprintf(w, "  average hybrid/cache traffic: %.3f\n", sum/float64(len(names)))
+}
+
+// Fig11 prints the energy breakdown, normalized to the cache system.
+func Fig11(w io.Writer, names []string, cacheRes, hybrid map[string]system.Results) {
+	fmt.Fprintln(w, "Figure 11: energy consumption, normalized to cache-based")
+	fmt.Fprintf(w, "  %-6s %-4s %-7s %-8s %-8s %-8s %-8s %-8s %-8s\n",
+		"Bench", "Sys", "Total", "CPUs", "Caches", "NoC", "Others", "SPMs", "CohProt")
+	var sum float64
+	for _, n := range names {
+		c, h := cacheRes[n], hybrid[n]
+		base := c.Energy.Total()
+		row := func(tag string, r system.Results) {
+			e := r.Energy
+			fmt.Fprintf(w, "  %-6s %-4s %-7.3f %-8.3f %-8.3f %-8.3f %-8.3f %-8.3f %-8.3f\n",
+				n, tag, e.Total()/base, e.CPUs/base, e.Caches/base, e.NoC/base,
+				e.Others/base, e.SPMs/base, e.CohProt/base)
+		}
+		row("C", c)
+		row("H", h)
+		sum += h.Energy.Total() / base
+	}
+	fmt.Fprintf(w, "  average hybrid/cache energy: %.3f\n", sum/float64(len(names)))
+}
+
+// CSV emits one machine-readable line per (benchmark, system) result.
+func CSV(w io.Writer, results []system.Results) {
+	fmt.Fprintln(w, "benchmark,system,cycles,ctrl,sync,work,pkts,ifetch,read,write,wbrepl,dma,cohprot,energy_total,energy_cpus,energy_caches,energy_noc,energy_others,energy_spms,energy_cohprot,filter_hit,retired,flushes")
+	for _, r := range results {
+		fields := []string{
+			r.Benchmark, r.System.String(),
+			fmt.Sprint(r.Cycles),
+			fmt.Sprint(r.PhaseCycles[isa.PhaseControl]),
+			fmt.Sprint(r.PhaseCycles[isa.PhaseSync]),
+			fmt.Sprint(r.PhaseCycles[isa.PhaseWork]),
+			fmt.Sprint(r.TotalPkts),
+			fmt.Sprint(r.NoCPackets[noc.Ifetch]),
+			fmt.Sprint(r.NoCPackets[noc.Read]),
+			fmt.Sprint(r.NoCPackets[noc.Write]),
+			fmt.Sprint(r.NoCPackets[noc.WBRepl]),
+			fmt.Sprint(r.NoCPackets[noc.DMA]),
+			fmt.Sprint(r.NoCPackets[noc.CohProt]),
+			fmt.Sprintf("%.0f", r.Energy.Total()),
+			fmt.Sprintf("%.0f", r.Energy.CPUs),
+			fmt.Sprintf("%.0f", r.Energy.Caches),
+			fmt.Sprintf("%.0f", r.Energy.NoC),
+			fmt.Sprintf("%.0f", r.Energy.Others),
+			fmt.Sprintf("%.0f", r.Energy.SPMs),
+			fmt.Sprintf("%.0f", r.Energy.CohProt),
+			fmt.Sprintf("%.4f", r.FilterHitRatio),
+			fmt.Sprint(r.Retired),
+			fmt.Sprint(r.Flushes),
+		}
+		fmt.Fprintln(w, strings.Join(fields, ","))
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+func fakeResults(name string, sys config.MemorySystem, cycles uint64) system.Results {
+	r := system.Results{
+		Benchmark: name,
+		System:    sys,
+		Cycles:    cycles,
+		TotalPkts: cycles / 2,
+		Retired:   cycles * 3,
+		Energy:    energy.Breakdown{CPUs: 100, Caches: 200, NoC: 50, Others: 25},
+	}
+	r.PhaseCycles[0] = cycles
+	r.NoCPackets[1] = cycles / 4
+	r.FilterHitRatio = 0.97
+	return r
+}
+
+func maps() (names []string, cache, hybrid, ideal map[string]system.Results) {
+	names = []string{"CG", "IS"}
+	cache = map[string]system.Results{}
+	hybrid = map[string]system.Results{}
+	ideal = map[string]system.Results{}
+	for i, n := range names {
+		base := uint64(1000 * (i + 1))
+		cache[n] = fakeResults(n, config.CacheBased, base*12/10)
+		hybrid[n] = fakeResults(n, config.HybridReal, base)
+		ideal[n] = fakeResults(n, config.HybridIdeal, base*95/100)
+	}
+	return
+}
+
+func TestTable1ContainsKeyParams(t *testing.T) {
+	var b strings.Builder
+	Table1(&b, config.Default())
+	out := b.String()
+	for _, want := range []string{"64 cores", "SPMDir", "Filter", "FilterDir", "MOESI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2ListsAllBenchmarks(t *testing.T) {
+	var b strings.Builder
+	Table2(&b, workloads.All(workloads.Tiny))
+	out := b.String()
+	for _, n := range workloads.Names() {
+		if !strings.Contains(out, n) {
+			t.Errorf("Table2 missing %s", n)
+		}
+	}
+	if !strings.Contains(out, "497") {
+		t.Error("Table2 missing SP's 497 refs")
+	}
+}
+
+func TestFig7ShowsOverheads(t *testing.T) {
+	names, _, hybrid, ideal := maps()
+	var b strings.Builder
+	Fig7(&b, names, hybrid, ideal)
+	out := b.String()
+	if !strings.Contains(out, "avg") || !strings.Contains(out, "CG") {
+		t.Fatalf("Fig7 output:\n%s", out)
+	}
+	// real/ideal cycles = 1000/950 ≈ 1.053
+	if !strings.Contains(out, "1.05") {
+		t.Fatalf("Fig7 overhead wrong:\n%s", out)
+	}
+}
+
+func TestFig8ShowsRatios(t *testing.T) {
+	names, _, hybrid, _ := maps()
+	var b strings.Builder
+	Fig8(&b, names, hybrid)
+	if !strings.Contains(b.String(), "97.00") {
+		t.Fatalf("Fig8 output:\n%s", b.String())
+	}
+}
+
+func TestFig9NormalizesAndAverages(t *testing.T) {
+	names, cache, hybrid, _ := maps()
+	var b strings.Builder
+	Fig9(&b, names, cache, hybrid)
+	out := b.String()
+	if !strings.Contains(out, "average speedup: 1.200x") {
+		t.Fatalf("Fig9 average wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "C") || !strings.Contains(out, "H") {
+		t.Fatal("Fig9 missing C/H bars")
+	}
+}
+
+func TestFig10HasAllCategories(t *testing.T) {
+	names, cache, hybrid, _ := maps()
+	var b strings.Builder
+	Fig10(&b, names, cache, hybrid)
+	out := b.String()
+	for _, cat := range []string{"Ifetch", "Read", "Write", "WB-Repl", "DMA", "CohProt"} {
+		if !strings.Contains(out, cat) {
+			t.Errorf("Fig10 missing category %s", cat)
+		}
+	}
+}
+
+func TestFig11HasAllComponents(t *testing.T) {
+	names, cache, hybrid, _ := maps()
+	var b strings.Builder
+	Fig11(&b, names, cache, hybrid)
+	out := b.String()
+	for _, comp := range []string{"CPUs", "Caches", "NoC", "Others", "SPMs", "CohProt"} {
+		if !strings.Contains(out, comp) {
+			t.Errorf("Fig11 missing component %s", comp)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	_, cache, hybrid, _ := maps()
+	var b strings.Builder
+	CSV(&b, []system.Results{cache["CG"], hybrid["CG"]})
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("CSV header %d fields, row %d", len(header), len(row))
+	}
+	if row[0] != "CG" || row[1] != "cache" {
+		t.Fatalf("CSV row = %v", row[:2])
+	}
+}

@@ -1,0 +1,128 @@
+// Package sim provides the discrete-event simulation kernel that every
+// hardware model in this repository is built on.
+//
+// The kernel is a deterministic event queue: events scheduled for the same
+// cycle fire in the order they were scheduled (FIFO tie-breaking by sequence
+// number), so a simulation run is a pure function of its inputs. Components
+// interact only by scheduling closures on the shared Engine; there is no
+// goroutine-level concurrency inside a simulation, which keeps runs
+// reproducible and race-free by construction.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is the simulated clock, measured in core cycles.
+type Time uint64
+
+// event is a scheduled closure.
+type event struct {
+	when Time
+	seq  uint64
+	fn   func()
+}
+
+// eventHeap is a min-heap ordered by (when, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event-driven simulation core. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{queue: make(eventHeap, 0, 1024)}
+}
+
+// Now reports the current simulated cycle.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far. Useful for progress
+// reporting and for tests that assert on event counts.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run delay cycles from now. A delay of zero runs fn
+// later in the current cycle, after all previously scheduled work for this
+// cycle.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At enqueues fn at absolute cycle t. Scheduling in the past is a programming
+// error and panics: silently reordering time would corrupt every model built
+// on the kernel.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	heap.Push(&e.queue, event{when: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Step executes the single earliest event. It reports false when the queue is
+// empty or the engine has been halted.
+func (e *Engine) Step() bool {
+	if e.halted || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= limit, leaving later events
+// queued. The clock is advanced to limit if the queue drains earlier.
+func (e *Engine) RunUntil(limit Time) {
+	for !e.halted && len(e.queue) > 0 && e.queue[0].when <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// Halt stops the engine: Run and Step become no-ops. Pending events remain
+// queued so state can still be inspected.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(10, func() { at = e.Now() })
+	e.Run()
+	if at != 10 {
+		t.Fatalf("event ran at %d, want 10", at)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10", e.Now())
+	}
+}
+
+func TestFIFOTieBreaking(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (same-cycle events must run FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.Schedule(1, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(2, func() {
+			trace = append(trace, e.Now())
+			e.Schedule(0, func() { trace = append(trace, e.Now()) })
+		})
+	})
+	e.Run()
+	want := []Time{1, 3, 3}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestZeroDelaySameCycleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(0, func() {
+		order = append(order, "a")
+		e.Schedule(0, func() { order = append(order, "c") })
+	})
+	e.Schedule(0, func() { order = append(order, "b") })
+	e.Run()
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Fatalf("order = %q, want abc", got)
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	ran := map[Time]bool{}
+	for _, d := range []Time{1, 5, 10, 20} {
+		d := d
+		e.Schedule(d, func() { ran[d] = true })
+	}
+	e.RunUntil(10)
+	if !ran[1] || !ran[5] || !ran[10] {
+		t.Fatalf("events <= 10 should have run: %v", ran)
+	}
+	if ran[20] {
+		t.Fatal("event at 20 ran during RunUntil(10)")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10", e.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", e.Now())
+	}
+}
+
+func TestHaltStopsExecution(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++; e.Halt() })
+	e.Schedule(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Halt must stop further events)", count)
+	}
+	if !e.Halted() {
+		t.Fatal("Halted() = false after Halt")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1 (halted events stay queued)", e.Pending())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestNilEventPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 17 {
+		t.Fatalf("Fired() = %d, want 17", e.Fired())
+	}
+}
+
+// Property: regardless of the (delay) multiset scheduled, events fire in
+// non-decreasing time order and all of them fire.
+func TestEventOrderingProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: same-cycle events preserve scheduling order even when interleaved
+// with other cycles.
+func TestSameCycleFIFOProperty(t *testing.T) {
+	prop := func(delays []uint8) bool {
+		e := NewEngine()
+		perCycle := map[Time][]int{}
+		var got = map[Time][]int{}
+		for i, d := range delays {
+			i, d := i, Time(d)
+			perCycle[d] = append(perCycle[d], i)
+			e.Schedule(d, func() { got[d] = append(got[d], i) })
+		}
+		e.Run()
+		for cyc, want := range perCycle {
+			g := got[cyc]
+			if len(g) != len(want) {
+				return false
+			}
+			for i := range want {
+				if g[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func() {})
+		}
+		e.Run()
+	}
+}

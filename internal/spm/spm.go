@@ -1,0 +1,153 @@
+// Package spm models the scratchpad memories of the hybrid memory system
+// and the reserved address-range mapping that integrates them into the
+// shared virtual address space (paper §2.1, Fig. 2).
+//
+// The system reserves a contiguous virtual range holding every SPM of the
+// chip back to back; each core's eight mapping registers are summarized here
+// by the AddressMap. A range check on every memory instruction classifies
+// the address before any MMU action; SPM accesses bypass the TLB entirely,
+// which is why they are both faster to validate and more energy-efficient
+// than cache accesses.
+package spm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DefaultVirtBase is where the global SPM virtual range is reserved. SPMs
+// are orders of magnitude smaller than the 64-bit address space, so the
+// reservation occupies a negligible portion of it (paper §2.1).
+const DefaultVirtBase uint64 = 0xFFFF_0000_0000
+
+// AddressMap is the chip-wide SPM address-space mapping: core i's SPM
+// occupies [VirtBase + i*Size, VirtBase + (i+1)*Size).
+type AddressMap struct {
+	VirtBase uint64
+	Size     uint64 // bytes per SPM
+	Cores    int
+}
+
+// NewAddressMap builds the mapping for cores SPMs of size bytes each.
+func NewAddressMap(cores, size int) AddressMap {
+	if cores <= 0 || size <= 0 {
+		panic(fmt.Sprintf("spm: invalid address map cores=%d size=%d", cores, size))
+	}
+	return AddressMap{VirtBase: DefaultVirtBase, Size: uint64(size), Cores: cores}
+}
+
+// End returns one past the last SPM virtual address.
+func (m AddressMap) End() uint64 { return m.VirtBase + m.Size*uint64(m.Cores) }
+
+// Contains reports whether va falls inside the global SPM range. This is
+// the range check performed on every memory instruction before any MMU
+// action (paper §2.1).
+func (m AddressMap) Contains(va uint64) bool {
+	return va >= m.VirtBase && va < m.End()
+}
+
+// CoreOf returns which core's SPM holds va. Panics if va is outside the
+// range; callers must check Contains first.
+func (m AddressMap) CoreOf(va uint64) int {
+	if !m.Contains(va) {
+		panic(fmt.Sprintf("spm: address %#x outside SPM range", va))
+	}
+	return int((va - m.VirtBase) / m.Size)
+}
+
+// Offset returns va's byte offset within its SPM.
+func (m AddressMap) Offset(va uint64) uint64 {
+	return (va - m.VirtBase) % m.Size
+}
+
+// AddrFor returns the virtual address of offset within core's SPM.
+func (m AddressMap) AddrFor(core int, offset uint64) uint64 {
+	if core < 0 || core >= m.Cores {
+		panic(fmt.Sprintf("spm: core %d out of range", core))
+	}
+	if offset >= m.Size {
+		panic(fmt.Sprintf("spm: offset %#x beyond SPM size %#x", offset, m.Size))
+	}
+	return m.VirtBase + uint64(core)*m.Size + offset
+}
+
+// SPM is one core's scratchpad: fixed-latency storage with access counters
+// for the energy model. Simulation is timing-level; data values are not
+// stored (the protocol layer tracks which storage holds the valid copy).
+type SPM struct {
+	eng     *sim.Engine
+	latency sim.Time
+
+	reads, writes         uint64 // CPU-side accesses
+	dmaReads, dmaWrites   uint64 // DMA-side line transfers
+	remoteReads, remoteWr uint64 // accesses arriving from other cores
+}
+
+// New builds an SPM with the given access latency in cycles.
+func New(eng *sim.Engine, latency int) *SPM {
+	return &SPM{eng: eng, latency: sim.Time(latency)}
+}
+
+// Access performs a CPU-side access and runs done after the SPM latency.
+func (s *SPM) Access(write bool, done func()) {
+	if write {
+		s.writes++
+	} else {
+		s.reads++
+	}
+	s.eng.Schedule(s.latency, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// RemoteAccess performs an access on behalf of another core (the protocol's
+// Fig. 5d case). NoC transit is charged by the caller.
+func (s *SPM) RemoteAccess(write bool, done func()) {
+	if write {
+		s.remoteWr++
+	} else {
+		s.remoteReads++
+	}
+	s.eng.Schedule(s.latency, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// DMAAccess accounts one line-granule DMA transfer touching the SPM array
+// (read for dma-put, write for dma-get). The DMA engine pipelines these, so
+// no latency is charged here; the DMA controller owns transfer timing.
+func (s *SPM) DMAAccess(write bool) {
+	if write {
+		s.dmaWrites++
+	} else {
+		s.dmaReads++
+	}
+}
+
+// Reads returns CPU-side read count.
+func (s *SPM) Reads() uint64 { return s.reads }
+
+// Writes returns CPU-side write count.
+func (s *SPM) Writes() uint64 { return s.writes }
+
+// RemoteReads returns reads served for other cores.
+func (s *SPM) RemoteReads() uint64 { return s.remoteReads }
+
+// RemoteWrites returns writes served for other cores.
+func (s *SPM) RemoteWrites() uint64 { return s.remoteWr }
+
+// DMAReads returns DMA line reads (dma-put source traffic).
+func (s *SPM) DMAReads() uint64 { return s.dmaReads }
+
+// DMAWrites returns DMA line writes (dma-get destination traffic).
+func (s *SPM) DMAWrites() uint64 { return s.dmaWrites }
+
+// TotalAccesses sums every access type.
+func (s *SPM) TotalAccesses() uint64 {
+	return s.reads + s.writes + s.dmaReads + s.dmaWrites + s.remoteReads + s.remoteWr
+}

@@ -1,0 +1,127 @@
+package spm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestAddressMapGeometry(t *testing.T) {
+	m := NewAddressMap(64, 32<<10)
+	if m.VirtBase != DefaultVirtBase {
+		t.Fatalf("VirtBase = %#x", m.VirtBase)
+	}
+	if m.End() != DefaultVirtBase+64*32<<10 {
+		t.Fatalf("End = %#x", m.End())
+	}
+}
+
+func TestContains(t *testing.T) {
+	m := NewAddressMap(4, 1024)
+	if m.Contains(m.VirtBase - 1) {
+		t.Fatal("Contains below base")
+	}
+	if !m.Contains(m.VirtBase) {
+		t.Fatal("!Contains at base")
+	}
+	if !m.Contains(m.End() - 1) {
+		t.Fatal("!Contains at last byte")
+	}
+	if m.Contains(m.End()) {
+		t.Fatal("Contains at end")
+	}
+	if m.Contains(0x1000) {
+		t.Fatal("Contains a GM address")
+	}
+}
+
+func TestCoreOfAndOffset(t *testing.T) {
+	m := NewAddressMap(4, 1024)
+	for core := 0; core < 4; core++ {
+		va := m.AddrFor(core, 100)
+		if got := m.CoreOf(va); got != core {
+			t.Fatalf("CoreOf(AddrFor(%d,100)) = %d", core, got)
+		}
+		if got := m.Offset(va); got != 100 {
+			t.Fatalf("Offset = %d, want 100", got)
+		}
+	}
+}
+
+func TestCoreOfOutsidePanics(t *testing.T) {
+	m := NewAddressMap(2, 512)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CoreOf outside range did not panic")
+		}
+	}()
+	m.CoreOf(0x1234)
+}
+
+func TestAddrForBadOffsetPanics(t *testing.T) {
+	m := NewAddressMap(2, 512)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddrFor with oversized offset did not panic")
+		}
+	}()
+	m.AddrFor(0, 512)
+}
+
+// Property: AddrFor and (CoreOf, Offset) are inverses for all valid inputs.
+func TestAddressRoundTripProperty(t *testing.T) {
+	m := NewAddressMap(64, 32<<10)
+	prop := func(c uint8, off uint16) bool {
+		core := int(c) % 64
+		offset := uint64(off) % (32 << 10)
+		va := m.AddrFor(core, offset)
+		return m.Contains(va) && m.CoreOf(va) == core && m.Offset(va) == offset
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPMAccessLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, 2)
+	var at sim.Time
+	s.Access(false, func() { at = eng.Now() })
+	eng.Run()
+	if at != 2 {
+		t.Fatalf("access completed at %d, want 2", at)
+	}
+	if s.Reads() != 1 || s.Writes() != 0 {
+		t.Fatalf("reads=%d writes=%d", s.Reads(), s.Writes())
+	}
+}
+
+func TestSPMCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(eng, 2)
+	s.Access(true, nil)
+	s.RemoteAccess(false, nil)
+	s.RemoteAccess(true, nil)
+	s.DMAAccess(true)
+	s.DMAAccess(false)
+	eng.Run()
+	if s.Writes() != 1 || s.RemoteReads() != 1 || s.RemoteWrites() != 1 {
+		t.Fatalf("counters: w=%d rr=%d rw=%d", s.Writes(), s.RemoteReads(), s.RemoteWrites())
+	}
+	if s.DMAWrites() != 1 || s.DMAReads() != 1 {
+		t.Fatalf("dma: w=%d r=%d", s.DMAWrites(), s.DMAReads())
+	}
+	if s.TotalAccesses() != 5 {
+		t.Fatalf("TotalAccesses = %d, want 5", s.TotalAccesses())
+	}
+}
+
+func TestInvalidAddressMapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAddressMap(0, 0) did not panic")
+		}
+	}()
+	NewAddressMap(0, 0)
+}

@@ -1,0 +1,340 @@
+// Package system assembles complete machines — cache-based, hybrid with
+// ideal coherence, or hybrid with the paper's protocol — runs benchmarks on
+// them, and collects the measurements every figure of the evaluation needs.
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/compiler"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dma"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/spm"
+)
+
+// stackBase returns core c's stack region (thread-private, far from the
+// workload arrays and the SPM range).
+func stackBase(c int) uint64 { return 0x7F00_0000 + uint64(c)*(1<<20) }
+
+// Machine is one fully wired simulated manycore plus the workload running
+// on it.
+type Machine struct {
+	Eng  *sim.Engine
+	Cfg  config.Config
+	Mesh *noc.Mesh
+	Dram *mem.System
+	Hier *coherence.Hierarchy
+
+	// Hybrid-only components (nil / empty on the cache-based machine).
+	SPMs     []*spm.SPM
+	AMap     spm.AddressMap
+	Protocol *core.Protocol
+	DMACs    []*dma.Controller
+
+	Cluster *cpu.Cluster
+
+	bench *compiler.Benchmark
+}
+
+// memControllerNodes spreads the memory controllers over two interior mesh
+// rows so each controller's router has full link fan-out and DMA bursts do
+// not concentrate on corner links.
+func memControllerNodes(cfg config.Config) []int {
+	w, h := cfg.MeshWidth, cfg.MeshHeight
+	rows := []int{h / 4, 3 * h / 4}
+	if rows[0] == rows[1] {
+		rows = rows[:1]
+	}
+	var nodes []int
+	seen := map[int]bool{}
+	perRow := (cfg.MemControllers + len(rows) - 1) / len(rows)
+	for _, y := range rows {
+		for i := 0; i < perRow && len(nodes) < cfg.MemControllers; i++ {
+			x := (i*w + w/2) / perRow % w
+			n := y*w + x
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	for i := 0; len(nodes) < cfg.MemControllers; i++ {
+		if !seen[i] {
+			seen[i] = true
+			nodes = append(nodes, i)
+		}
+	}
+	return nodes
+}
+
+// Build wires a machine for cfg and generates per-core programs for bench.
+func Build(cfg config.Config, bench *compiler.Benchmark, seed uint64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	mesh := noc.NewBW(eng, cfg.MeshWidth, cfg.MeshHeight, cfg.FlitBytes, cfg.LinkBandwidth, cfg.LinkLatency, cfg.RouterLatency)
+	dram := mem.NewSystem(eng, memControllerNodes(cfg), cfg.LineSize, cfg.MemLatency, cfg.MemCyclesPerLn)
+	hier := coherence.New(eng, cfg, mesh, dram)
+
+	m := &Machine{Eng: eng, Cfg: cfg, Mesh: mesh, Dram: dram, Hier: hier, bench: bench}
+
+	if cfg.HasSPM() {
+		m.AMap = spm.NewAddressMap(cfg.Cores, cfg.SPMSize)
+		for i := 0; i < cfg.Cores; i++ {
+			m.SPMs = append(m.SPMs, spm.New(eng, cfg.SPMLatency))
+		}
+		m.Protocol = core.New(eng, cfg, mesh, hier, m.SPMs, m.AMap, cfg.IdealCoherence())
+		var notifier dma.MapNotifier = m.Protocol
+		for i := 0; i < cfg.Cores; i++ {
+			m.DMACs = append(m.DMACs, dma.NewController(eng, i, hier, m.SPMs[i], notifier,
+				cfg.LineSize, cfg.DMACmdQueue, cfg.DMABusQueue, cfg.DMALineCycles))
+		}
+	}
+
+	programs := make([]isa.Program, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		opt := compiler.GenOptions{
+			Cores:         cfg.Cores,
+			Core:          c,
+			Hybrid:        cfg.HasSPM(),
+			SPMSize:       cfg.SPMSize,
+			SPMDirEntries: cfg.SPMDirEntries,
+			StackBase:     stackBase(c),
+			Seed:          seed,
+		}
+		if cfg.HasSPM() {
+			opt.SPMBase = m.AMap.AddrFor(c, 0)
+		}
+		programs[c] = compiler.Generate(bench, opt)
+	}
+	m.Cluster = cpu.NewCluster(eng, cfg, m, programs)
+	if m.Protocol != nil {
+		m.Protocol.SetRecheckHook(m.Cluster.RecheckHook())
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// cpu.Ops implementation: route each instruction to the right hardware.
+
+// IFetch implements cpu.Ops.
+func (m *Machine) IFetch(c int, pc uint64, done func()) { m.Hier.IFetch(c, pc, done) }
+
+// Mem implements cpu.Ops.
+func (m *Machine) Mem(c int, inst isa.Inst, done func()) {
+	switch inst.Kind {
+	case isa.Load:
+		m.Hier.Read(c, inst.Addr, inst.PC, done)
+	case isa.Store:
+		m.Hier.Write(c, inst.Addr, inst.PC, done)
+	case isa.GuardedLoad, isa.GuardedStore:
+		if m.Protocol == nil {
+			// No SPMs: the guard prefix is meaningless; normal access.
+			if inst.Kind == isa.GuardedStore {
+				m.Hier.Write(c, inst.Addr, inst.PC, done)
+			} else {
+				m.Hier.Read(c, inst.Addr, inst.PC, done)
+			}
+			return
+		}
+		m.Protocol.GuardedAccess(c, inst.Addr, inst.PC, inst.Kind == isa.GuardedStore,
+			func(core.Served) { done() })
+	case isa.SPMLoad, isa.SPMStore:
+		m.spmAccess(c, inst, done)
+	default:
+		panic(fmt.Sprintf("system: non-memory inst %v routed to Mem", inst.Kind))
+	}
+}
+
+// spmAccess performs a direct load/store to the SPM virtual range. The range
+// check picks local vs remote; remote accesses ride the NoC (every core can
+// address any SPM, paper §2.1).
+func (m *Machine) spmAccess(c int, inst isa.Inst, done func()) {
+	if m.SPMs == nil {
+		panic("system: SPM access on a cache-based machine")
+	}
+	owner := m.AMap.CoreOf(inst.Addr)
+	write := inst.Kind == isa.SPMStore
+	if owner == c {
+		m.SPMs[c].Access(write, done)
+		return
+	}
+	// Remote SPM access: request + response over the NoC.
+	reqBytes, respBytes := 8, 72
+	if write {
+		reqBytes, respBytes = 72, 8
+	}
+	m.Mesh.Send(c, owner, reqBytes, noc.Read, func() {
+		m.SPMs[owner].RemoteAccess(write, func() {
+			m.Mesh.Send(owner, c, respBytes, noc.Read, done)
+		})
+	})
+}
+
+// DMAEnqueue implements cpu.Ops.
+func (m *Machine) DMAEnqueue(c int, inst isa.Inst) bool {
+	if m.DMACs == nil {
+		panic("system: DMA on a cache-based machine")
+	}
+	if inst.Kind == isa.DMAPut {
+		return m.DMACs[c].Put(inst.Addr, inst.Addr2, inst.Bytes, inst.Tag)
+	}
+	return m.DMACs[c].Get(inst.Addr, inst.Addr2, inst.Bytes, inst.Tag)
+}
+
+// DMASync implements cpu.Ops.
+func (m *Machine) DMASync(c, tag int, done func()) {
+	if m.DMACs == nil {
+		panic("system: DMA sync on a cache-based machine")
+	}
+	m.DMACs[c].Sync(tag, done)
+}
+
+// SetBufSize implements cpu.Ops.
+func (m *Machine) SetBufSize(c, bytes int) {
+	if m.Protocol != nil {
+		m.Protocol.SetBufSize(c, bytes)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Running and results
+
+// Results holds everything the evaluation figures need from one run.
+type Results struct {
+	Benchmark string
+	System    config.MemorySystem
+
+	Cycles      uint64
+	PhaseCycles [isa.NumPhases]uint64
+	Retired     uint64
+	Flushes     uint64
+
+	NoCPackets  [noc.NumCategories]uint64
+	TotalPkts   uint64
+	NoCFlitHops uint64
+
+	FilterHitRatio float64
+	Energy         energy.Breakdown
+
+	// L1D behaviour (drives the Fig. 9 analysis).
+	L1DHits, L1DMisses uint64
+	Prefetches         uint64
+	DMALineTransfers   uint64
+}
+
+// Run executes the benchmark to completion. maxEvents bounds the run (0
+// means no bound); exceeding it or deadlocking returns an error.
+func (m *Machine) Run(maxEvents uint64) (Results, error) {
+	m.Cluster.Start()
+	for m.Eng.Step() {
+		if maxEvents > 0 && m.Eng.Fired() > maxEvents {
+			return Results{}, fmt.Errorf("system: event budget %d exceeded at cycle %d", maxEvents, m.Eng.Now())
+		}
+	}
+	if !m.Cluster.AllDone() {
+		return Results{}, fmt.Errorf("system: deadlock — engine drained at cycle %d with unfinished cores", m.Eng.Now())
+	}
+	return m.collect(), nil
+}
+
+func (m *Machine) collect() Results {
+	r := Results{
+		Benchmark: m.bench.Name,
+		System:    m.Cfg.System,
+		Cycles:    uint64(m.Cluster.FinishTime()),
+		Retired:   m.Cluster.Retired(),
+		Flushes:   m.Cluster.Flushes(),
+	}
+	for p := isa.Phase(0); p < isa.NumPhases; p++ {
+		r.PhaseCycles[p] = uint64(m.Cluster.PhaseCycles(p))
+	}
+	for c := noc.Category(0); c < noc.NumCategories; c++ {
+		r.NoCPackets[c] = m.Mesh.Packets(c)
+	}
+	r.TotalPkts = m.Mesh.TotalPackets()
+	r.NoCFlitHops = m.Mesh.TotalFlitHops()
+	r.L1DHits = m.Hier.L1DHits()
+	r.L1DMisses = m.Hier.L1DMisses()
+	r.Prefetches = m.Hier.PrefetchesIssued()
+
+	hs := m.Hier.Stats()
+	in := energy.Inputs{
+		Cycles:        r.Cycles,
+		Cores:         m.Cfg.Cores,
+		RetiredInstrs: r.Retired,
+		L1DAccesses:   hs.Get("l1d.accesses"),
+		L1IAccesses:   hs.Get("l1i.accesses"),
+		L1DSize:       m.Cfg.L1DSize,
+		TLBAccesses:   hs.Get("tlb.accesses"),
+		L2Accesses:    hs.Get("l2.accesses"),
+		MemLines:      hs.Get("dram.reads") + hs.Get("dram.writes"),
+		NoCFlitHops:   r.NoCFlitHops,
+		HasSPM:        m.Cfg.HasSPM(),
+	}
+	if m.Cfg.HasSPM() {
+		for _, s := range m.SPMs {
+			in.SPMAccesses += s.TotalAccesses()
+		}
+		for _, d := range m.DMACs {
+			r.DMALineTransfers += d.LineTransfers()
+		}
+		in.DMALineTransfers = r.DMALineTransfers
+		ps := m.Protocol.Stats()
+		in.ProtocolPresent = !m.Cfg.IdealCoherence()
+		in.FilterLookups = ps.Get("filter.lookups")
+		in.SPMDirLookups = ps.Get("spmdir.lookups")
+		in.SPMDirUpdates = ps.Get("spmdir.updates")
+		in.FDirLookups = ps.Get("fdir.lookups")
+		in.FilterInvals = ps.Get("filter.invalidations")
+		in.GuardedPresent = compiler.Characterize(m.bench).GuardedRefs > 0
+		r.FilterHitRatio = m.Protocol.FilterHitRatio()
+	} else {
+		r.FilterHitRatio = 1
+	}
+	r.Energy = energy.Compute(in, energy.Defaults22nm())
+	return r
+}
+
+// RunBenchmark is the one-call convenience: build the machine for sys and
+// run bench on it.
+func RunBenchmark(sys config.MemorySystem, bench *compiler.Benchmark, cores int, maxEvents uint64) (Results, error) {
+	cfg := config.ForSystem(sys)
+	if cores > 0 && cores != cfg.Cores {
+		cfg = shrink(cfg, cores)
+	}
+	m, err := Build(cfg, bench, 0xC0FFEE)
+	if err != nil {
+		return Results{}, err
+	}
+	return m.Run(maxEvents)
+}
+
+// shrink reconfigures the mesh for a smaller core count (tests, benches).
+func shrink(cfg config.Config, cores int) config.Config {
+	w, h := 1, cores
+	for d := 1; d*d <= cores; d++ {
+		if cores%d == 0 {
+			w, h = d, cores/d
+		}
+	}
+	cfg.Cores = cores
+	cfg.MeshWidth = w
+	cfg.MeshHeight = h
+	if cfg.MemControllers > cores {
+		cfg.MemControllers = cores
+	}
+	if cfg.FilterDirEntries < cores {
+		cfg.FilterDirEntries = cores
+	}
+	return cfg
+}

@@ -1,0 +1,214 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+)
+
+// TestTable2Signatures pins each benchmark to its Table 2 row: kernel count,
+// SPM reference count, guarded reference count.
+func TestTable2Signatures(t *testing.T) {
+	want := map[string]struct{ kernels, spmRefs, guardedRefs int }{
+		"CG": {1, 5, 1},
+		"EP": {2, 3, 1},
+		"FT": {5, 32, 4},
+		"IS": {1, 3, 2},
+		"MG": {3, 59, 6},
+		"SP": {54, 497, 0},
+	}
+	for _, name := range Names() {
+		b := Build(name, Small)
+		c := compiler.Characterize(b)
+		w := want[name]
+		if c.Kernels != w.kernels {
+			t.Errorf("%s kernels = %d, want %d", name, c.Kernels, w.kernels)
+		}
+		if c.SPMRefs != w.spmRefs {
+			t.Errorf("%s SPM refs = %d, want %d", name, c.SPMRefs, w.spmRefs)
+		}
+		if c.GuardedRefs != w.guardedRefs {
+			t.Errorf("%s guarded refs = %d, want %d", name, c.GuardedRefs, w.guardedRefs)
+		}
+	}
+}
+
+// TestDataSizeOrdering checks Table 2's qualitative size relations: the SPM
+// data set dwarfs the guarded data set for every benchmark with guarded refs
+// except EP (whose data sets are both small).
+func TestDataSizeOrdering(t *testing.T) {
+	for _, name := range []string{"CG", "FT", "IS", "MG"} {
+		c := compiler.Characterize(Build(name, Small))
+		if c.SPMBytes <= c.GuardBytes {
+			t.Errorf("%s: SPM bytes %d <= guarded bytes %d", name, c.SPMBytes, c.GuardBytes)
+		}
+	}
+	sp := compiler.Characterize(Build("SP", Small))
+	if sp.GuardBytes != 0 {
+		t.Errorf("SP guarded bytes = %d, want 0", sp.GuardBytes)
+	}
+	mg := compiler.Characterize(Build("MG", Small))
+	if mg.GuardBytes != 64 {
+		t.Errorf("MG guarded bytes = %d, want 64", mg.GuardBytes)
+	}
+}
+
+// TestDisjointDataSets verifies the paper's observation that SPM-accessed
+// and guarded-accessed data never overlap (though the compiler cannot prove
+// it): guarded refs must target arrays no strided ref touches.
+func TestDisjointDataSets(t *testing.T) {
+	for _, name := range Names() {
+		b := Build(name, Small)
+		spmArrays := map[*compiler.Array]bool{}
+		for ki := range b.Kernels {
+			for ri := range b.Kernels[ki].Refs {
+				r := &b.Kernels[ki].Refs[ri]
+				if compiler.Classify(r) == compiler.ClassSPM {
+					spmArrays[r.Array] = true
+				}
+			}
+		}
+		for ki := range b.Kernels {
+			for ri := range b.Kernels[ki].Refs {
+				r := &b.Kernels[ki].Refs[ri]
+				if compiler.Classify(r) == compiler.ClassGuarded && spmArrays[r.Array] {
+					t.Errorf("%s: guarded ref %s aliases an SPM-mapped array", name, r.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestArraysDoNotOverlap validates the arena allocation.
+func TestArraysDoNotOverlap(t *testing.T) {
+	for _, name := range Names() {
+		b := Build(name, Small)
+		type span struct{ lo, hi uint64 }
+		var spans []span
+		for _, a := range b.Arrays {
+			spans = append(spans, span{a.Base, a.Base + uint64(a.Size)})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					t.Fatalf("%s: arrays %d and %d overlap", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestArraysAreAligned verifies DMA chunk bases never straddle arrays.
+func TestArraysAreAligned(t *testing.T) {
+	for _, name := range Names() {
+		for _, a := range Build(name, Small).Arrays {
+			if a.Base%arenaAlign != 0 {
+				t.Errorf("%s: array %s base %#x not %d-aligned", name, a.Name, a.Base, arenaAlign)
+			}
+		}
+	}
+}
+
+// TestBuffersFitSPMDir ensures every kernel's buffer plan is feasible on the
+// Table 1 machine (32KB SPM, 32 SPMDir entries).
+func TestBuffersFitSPMDir(t *testing.T) {
+	for _, name := range Names() {
+		b := Build(name, Small)
+		for ki := range b.Kernels {
+			k := &b.Kernels[ki]
+			plan, err := compiler.PlanBuffers(k, 32<<10, 32, 64)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, k.Name, err)
+			}
+			if plan.NumBuffers > 0 && plan.TileIters <= 0 {
+				t.Fatalf("%s/%s: bad plan %+v", name, k.Name, plan)
+			}
+		}
+	}
+}
+
+// TestGenerationWorksForAllBenchmarks smoke-tests lazy codegen end to end
+// (tiny scale, 4 cores, both machine flavors).
+func TestGenerationWorksForAllBenchmarks(t *testing.T) {
+	for _, name := range Names() {
+		for _, hybrid := range []bool{false, true} {
+			b := Build(name, Tiny)
+			opt := compiler.GenOptions{
+				Cores: 4, Core: 1, Hybrid: hybrid,
+				SPMSize: 32 << 10, SPMDirEntries: 32,
+				SPMBase:   0xFFFF_0000_0000 + 32<<10,
+				StackBase: 0x7F00_0000,
+				Seed:      7,
+			}
+			p := compiler.Generate(b, opt)
+			n := 0
+			for {
+				inst, ok := p.Next()
+				if !ok {
+					break
+				}
+				if inst.Kind.IsMemory() && inst.Addr == 0 {
+					t.Fatalf("%s hybrid=%v: memory inst with nil address", name, hybrid)
+				}
+				n++
+				if n > 50_000_000 {
+					t.Fatalf("%s: runaway generator", name)
+				}
+			}
+			if n == 0 {
+				t.Fatalf("%s hybrid=%v: empty program", name, hybrid)
+			}
+		}
+	}
+}
+
+// TestSPHasNoGuardedInstructions pins the SP property the paper leans on:
+// with no guarded refs the protocol's filters are never exercised.
+func TestSPHasNoGuardedInstructions(t *testing.T) {
+	b := Build("SP", Tiny)
+	opt := compiler.GenOptions{
+		Cores: 4, Core: 0, Hybrid: true,
+		SPMSize: 32 << 10, SPMDirEntries: 32,
+		SPMBase: 0xFFFF_0000_0000, StackBase: 0x7F00_0000, Seed: 1,
+	}
+	p := compiler.Generate(b, opt)
+	for {
+		inst, ok := p.Next()
+		if !ok {
+			return
+		}
+		if inst.Kind == isa.GuardedLoad || inst.Kind == isa.GuardedStore {
+			t.Fatal("SP emitted a guarded instruction")
+		}
+	}
+}
+
+func TestUnknownBenchmarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown name did not panic")
+		}
+	}()
+	Build("LU", Small)
+}
+
+func TestAllReturnsSix(t *testing.T) {
+	if got := len(All(Tiny)); got != 6 {
+		t.Fatalf("All = %d benchmarks", got)
+	}
+}
+
+func TestTinySmallerThanSmall(t *testing.T) {
+	for _, name := range Names() {
+		tiny := compiler.Characterize(Build(name, Tiny))
+		small := compiler.Characterize(Build(name, Small))
+		if tiny.SPMBytes >= small.SPMBytes {
+			t.Errorf("%s: tiny footprint %d >= small %d", name, tiny.SPMBytes, small.SPMBytes)
+		}
+		// Signatures must be scale-invariant.
+		if tiny.SPMRefs != small.SPMRefs || tiny.GuardedRefs != small.GuardedRefs {
+			t.Errorf("%s: ref signature changed with scale", name)
+		}
+	}
+}

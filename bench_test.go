@@ -25,9 +25,10 @@ const (
 // run executes one benchmark on one system flavor, failing b on error.
 func run(b *testing.B, name string, sys config.MemorySystem) system.Results {
 	b.Helper()
-	r, err := system.RunBenchmark(sys, workloads.Build(name, benchScale), benchCores, 0)
+	spec := system.Spec{System: sys, Benchmark: name, Scale: benchScale, Cores: benchCores}
+	r, err := spec.Execute()
 	if err != nil {
-		b.Fatalf("%s on %v: %v", name, sys, err)
+		b.Fatalf("%s: %v", spec.Key(), err)
 	}
 	return r
 }
@@ -155,18 +156,10 @@ func BenchmarkAblationFilterSize(b *testing.B) {
 	var small, large float64
 	for i := 0; i < b.N; i++ {
 		for _, entries := range []int{8, 48} {
-			cfg := config.ForSystem(config.HybridReal)
-			cfg.Cores = benchCores
-			cfg.MeshWidth, cfg.MeshHeight = 2, 4
-			cfg.FilterEntries = entries
-			if cfg.MemControllers > benchCores {
-				cfg.MemControllers = benchCores
-			}
-			m, err := system.Build(cfg, workloads.Build("IS", benchScale), 0xC0FFEE)
-			if err != nil {
-				b.Fatal(err)
-			}
-			r, err := m.Run(0)
+			r, err := system.Spec{
+				System: config.HybridReal, Benchmark: "IS", Scale: benchScale,
+				Cores: benchCores, FilterEntries: entries,
+			}.Execute()
 			if err != nil {
 				b.Fatal(err)
 			}

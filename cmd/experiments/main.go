@@ -1,36 +1,61 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation (Tables 1-2, Figures 7-11) plus the repository's ablation
-// studies, writing text reports to stdout and CSV data to -out.
+// studies, writing text reports to stdout and CSV/JSON data to -out.
+//
+// The 18 machine simulations of the full matrix (6 benchmarks x 3 memory
+// systems) are independent, so they fan out across -workers goroutines;
+// results are identical for any worker count.
 //
 // Usage:
 //
 //	experiments                 # everything, 64 cores, small scale
 //	experiments -only fig9      # one exhibit
-//	experiments -cores 16 -scale tiny   # quick pass
+//	experiments -cores 16 -scale tiny -workers 8   # quick parallel pass
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"strings"
 
 	"repro/internal/config"
+	"repro/internal/noc"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/system"
 	"repro/internal/workloads"
 )
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	cores := flag.Int("cores", 64, "core count")
 	scaleName := flag.String("scale", "small", "workload scale: tiny, small")
 	only := flag.String("only", "", "run one exhibit: table1, table2, fig7, fig8, fig9, fig10, fig11, ablation")
-	outPath := flag.String("out", "", "also write all results as CSV to this file")
+	outPath := flag.String("out", "", "also write all results to this file (.csv or .json)")
+	format := flag.String("format", "", "output format for -out: csv or json (default: from the file extension)")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = one per host CPU)")
 	flag.Parse()
 
-	scale := workloads.Small
-	if *scaleName == "tiny" {
-		scale = workloads.Tiny
+	scale, err := workloads.ParseScale(*scaleName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	outFormat := ""
+	if *outPath != "" {
+		outFormat = sinkFormat(*format, *outPath)
+		ok := false
+		for _, f := range report.Formats() {
+			ok = ok || f == outFormat
+		}
+		if !ok {
+			// Reject before burning minutes of simulation on it.
+			fatalf("unknown format %q (want one of %v)", outFormat, report.Formats())
+		}
 	}
 	want := func(name string) bool { return *only == "" || *only == name }
 
@@ -49,35 +74,36 @@ func main() {
 			needsRuns = true
 		}
 	}
+	if *outPath != "" && !needsRuns {
+		// -out exports the benchmark-matrix results; fail before burning
+		// minutes of simulation on a run that would silently write nothing.
+		fatalf("-out exports the benchmark matrix, which -only %q never runs", *only)
+	}
 	if !needsRuns && !want("ablation") {
 		return
 	}
 
-	names := workloads.Names()
-	cacheRes := map[string]system.Results{}
-	hybridRes := map[string]system.Results{}
-	idealRes := map[string]system.Results{}
+	opt := runner.Options{Workers: *workers, Progress: os.Stderr}
 	var all []system.Results
 
 	if needsRuns {
-		for _, n := range names {
-			for _, sys := range []config.MemorySystem{config.CacheBased, config.HybridReal, config.HybridIdeal} {
-				t0 := time.Now()
-				r, err := system.RunBenchmark(sys, workloads.Build(n, scale), *cores, 0)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "%s on %v failed: %v\n", n, sys, err)
-					os.Exit(1)
-				}
-				fmt.Fprintf(os.Stderr, "ran %s/%v in %.1fs (%d cycles)\n", n, sys, time.Since(t0).Seconds(), r.Cycles)
-				all = append(all, r)
-				switch sys {
-				case config.CacheBased:
-					cacheRes[n] = r
-				case config.HybridReal:
-					hybridRes[n] = r
-				case config.HybridIdeal:
-					idealRes[n] = r
-				}
+		names := workloads.Names()
+		specs := runner.Matrix(names, runner.AllSystems, scale, *cores)
+		all, err = runner.Collect(runner.Run(specs, opt))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cacheRes := map[string]system.Results{}
+		hybridRes := map[string]system.Results{}
+		idealRes := map[string]system.Results{}
+		for i, r := range all {
+			switch specs[i].System {
+			case config.CacheBased:
+				cacheRes[r.Benchmark] = r
+			case config.HybridReal:
+				hybridRes[r.Benchmark] = r
+			case config.HybridIdeal:
+				idealRes[r.Benchmark] = r
 			}
 		}
 		fmt.Println()
@@ -104,65 +130,56 @@ func main() {
 	}
 
 	if want("ablation") {
-		runAblation(*cores, scale)
+		runAblation(*cores, scale, opt)
 	}
 
 	if *outPath != "" && len(all) > 0 {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cannot write %s: %v\n", *outPath, err)
-			os.Exit(1)
+			fatalf("cannot write %s: %v", *outPath, err)
 		}
 		defer f.Close()
-		report.CSV(f, all)
+		if err := report.WriteResults(f, outFormat, all); err != nil {
+			fatalf("%v", err)
+		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
 	}
 }
 
-// runAblation sweeps the filter size on IS (the most filter-sensitive
-// benchmark) — the design-choice study DESIGN.md calls Ablation A.
-func runAblation(cores int, scale workloads.Scale) {
-	fmt.Println("Ablation A: filter size sweep on IS (hybrid, real protocol)")
-	fmt.Printf("  %-8s %-10s %-10s %-10s\n", "Entries", "HitRatio", "Cycles", "CohPkts")
-	for _, entries := range []int{8, 16, 32, 48, 64} {
-		cfg := config.ForSystem(config.HybridReal)
-		cfg.FilterEntries = entries
-		if cores != cfg.Cores {
-			cfg = shrinkTo(cfg, cores)
-		}
-		m, err := system.Build(cfg, workloads.Build("IS", scale), 0xC0FFEE)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ablation build: %v\n", err)
-			return
-		}
-		r, err := m.Run(0)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ablation run: %v\n", err)
-			return
-		}
-		var coh uint64
-		coh = r.NoCPackets[5] // CohProt
-		fmt.Printf("  %-8d %-10.4f %-10d %-10d\n", entries, r.FilterHitRatio, r.Cycles, coh)
+// sinkFormat resolves -format, falling back to the -out extension and then
+// to CSV.
+func sinkFormat(format, path string) string {
+	if format != "" {
+		return format
 	}
+	if strings.HasSuffix(path, ".json") {
+		return "json"
+	}
+	return "csv"
 }
 
-// shrinkTo adapts the mesh to a smaller core count (mirrors system.shrink,
-// kept local to avoid exporting a test helper).
-func shrinkTo(cfg config.Config, cores int) config.Config {
-	w, h := 1, cores
-	for d := 1; d*d <= cores; d++ {
-		if cores%d == 0 {
-			w, h = d, cores/d
+// runAblation sweeps the filter size on IS (the most filter-sensitive
+// benchmark) — the design-choice study DESIGN.md calls Ablation A.
+func runAblation(cores int, scale workloads.Scale, opt runner.Options) {
+	sizes := []int{8, 16, 32, 48, 64}
+	specs := make([]system.Spec, len(sizes))
+	for i, entries := range sizes {
+		specs[i] = system.Spec{
+			System:        config.HybridReal,
+			Benchmark:     "IS",
+			Scale:         scale,
+			Cores:         cores,
+			FilterEntries: entries,
 		}
 	}
-	cfg.Cores = cores
-	cfg.MeshWidth = w
-	cfg.MeshHeight = h
-	if cfg.MemControllers > cores {
-		cfg.MemControllers = cores
+	results, err := runner.Collect(runner.Run(specs, opt))
+	if err != nil {
+		fatalf("ablation: %v", err)
 	}
-	if cfg.FilterDirEntries < cores {
-		cfg.FilterDirEntries = cores
+	fmt.Println("Ablation A: filter size sweep on IS (hybrid, real protocol)")
+	fmt.Printf("  %-8s %-10s %-10s %-10s\n", "Entries", "HitRatio", "Cycles", "CohPkts")
+	for i, r := range results {
+		fmt.Printf("  %-8d %-10.4f %-10d %-10d\n",
+			sizes[i], r.FilterHitRatio, r.Cycles, r.NoCPackets[noc.CohProt])
 	}
-	return cfg
 }

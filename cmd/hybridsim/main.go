@@ -50,19 +50,20 @@ func main() {
 		return
 	}
 
-	var scale workloads.Scale
-	switch *scaleName {
-	case "tiny":
-		scale = workloads.Tiny
-	case "small":
-		scale = workloads.Small
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+	scale, err := workloads.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	bench := workloads.Build(*benchName, scale)
-	r, err := system.RunBenchmark(sys, bench, *cores, *maxEvents)
+	spec := system.Spec{
+		System:    sys,
+		Benchmark: *benchName,
+		Scale:     scale,
+		Cores:     *cores,
+		MaxEvents: *maxEvents,
+	}
+	r, err := spec.Execute()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
 		os.Exit(1)

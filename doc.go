@@ -6,5 +6,17 @@
 // entry points are cmd/hybridsim, cmd/experiments and the examples/ mains.
 // bench_test.go in this directory regenerates every table and figure of the
 // paper's evaluation as testing.B benchmarks (scaled down); use
-// cmd/experiments for the full-size runs.
+// cmd/experiments for the full-size runs:
+//
+//	go run ./cmd/experiments -scale tiny -workers 8
+//
+// Sweeps are declarative: a run is a system.Spec value, and internal/runner
+// fans a []Spec across a worker pool with byte-identical output for any
+// worker count:
+//
+//	specs := runner.Matrix(workloads.Names(), runner.AllSystems, workloads.Small, 0)
+//	results, err := runner.Collect(runner.Run(specs, runner.Options{Workers: 8}))
+//	report.CSV(os.Stdout, results)
+//
+// See README.md for the quickstart and DESIGN.md for methodology.
 package repro

@@ -3,41 +3,58 @@
 // against FilterDir round-trips. IS — the benchmark with the weakest guarded
 // locality — is the most sensitive, exactly as the paper's Fig. 8 suggests.
 //
-//	go run ./examples/sweep
+// Each sweep point is one declarative system.Spec; the runner fans them out
+// across worker goroutines, so the sweep finishes in the wall-clock of its
+// slowest point instead of the sum of all of them.
+//
+//	go run ./examples/sweep -workers 8
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/config"
 	"repro/internal/noc"
+	"repro/internal/runner"
 	"repro/internal/system"
 	"repro/internal/workloads"
 )
 
 func main() {
-	const cores = 16
-	fmt.Println("filter size sweep: IS on the hybrid system (16 cores, small scale; takes a minute)")
-	fmt.Printf("%-10s %-12s %-10s %-14s %-12s\n",
-		"entries", "hit-ratio", "cycles", "CohProt pkts", "broadcasts?")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = one per host CPU)")
+	flag.Parse()
 
-	for _, entries := range []int{4, 8, 16, 32, 48, 96} {
-		cfg := config.ForSystem(config.HybridReal)
-		cfg.FilterEntries = entries
-		cfg.Cores = cores
-		cfg.MeshWidth, cfg.MeshHeight = 4, 4
-		m, err := system.Build(cfg, workloads.Build("IS", workloads.Small), 0xC0FFEE)
-		if err != nil {
-			log.Fatal(err)
+	const cores = 16
+	sizes := []int{4, 8, 16, 32, 48, 96}
+	specs := make([]system.Spec, len(sizes))
+	for i, entries := range sizes {
+		specs[i] = system.Spec{
+			System:        config.HybridReal,
+			Benchmark:     "IS",
+			Scale:         workloads.Small,
+			Cores:         cores,
+			FilterEntries: entries,
 		}
-		r, err := m.Run(0)
-		if err != nil {
-			log.Fatal(err)
-		}
+	}
+
+	fmt.Println("filter size sweep: IS on the hybrid system (16 cores, small scale)")
+	results, err := runner.Collect(runner.Run(specs, runner.Options{
+		Workers:  *workers,
+		Progress: os.Stderr,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %-12s %-10s %-14s %-12s\n",
+		"entries", "hit-ratio", "cycles", "CohProt pkts", "broadcasts")
+	for i, r := range results {
 		fmt.Printf("%-10d %-12.4f %-10d %-14d %-12d\n",
-			entries, r.FilterHitRatio, r.Cycles, r.NoCPackets[noc.CohProt],
-			m.Protocol.Stats().Get("fdir.broadcasts"))
+			sizes[i], r.FilterHitRatio, r.Cycles, r.NoCPackets[noc.CohProt],
+			r.FDirBroadcasts)
 	}
 	fmt.Println("\nBigger filters push the hit ratio up and protocol traffic down until")
 	fmt.Println("the guarded working set fits; Table 1's 48 entries sit at the knee.")

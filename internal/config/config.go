@@ -5,6 +5,7 @@
 package config
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 )
@@ -36,6 +37,27 @@ func (m MemorySystem) String() string {
 	default:
 		return fmt.Sprintf("MemorySystem(%d)", int(m))
 	}
+}
+
+// MarshalJSON encodes the system by its stable name, so JSON result sinks
+// stay readable and robust against enum reordering.
+func (m MemorySystem) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON accepts the names MarshalJSON produces.
+func (m *MemorySystem) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for _, v := range []MemorySystem{CacheBased, HybridIdeal, HybridReal} {
+		if v.String() == s {
+			*m = v
+			return nil
+		}
+	}
+	return fmt.Errorf("config: unknown memory system %q", s)
 }
 
 // Config holds every machine parameter. Sizes are bytes unless suffixed.

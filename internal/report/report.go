@@ -3,6 +3,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -204,6 +205,48 @@ func CSV(w io.Writer, results []system.Results) {
 		}
 		fmt.Fprintln(w, strings.Join(fields, ","))
 	}
+}
+
+// JSON emits the results as an indented JSON array, one object per run.
+// Memory systems marshal by name (see config.MemorySystem.MarshalJSON).
+func JSON(w io.Writer, results []system.Results) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// Formats lists the result-sink formats WriteResults accepts.
+func Formats() []string { return []string{"csv", "json"} }
+
+// WriteResults dispatches to a sink by format name, so drivers can stay
+// agnostic of how results are persisted.
+func WriteResults(w io.Writer, format string, results []system.Results) error {
+	switch format {
+	case "csv":
+		ew := &errWriter{w: w}
+		CSV(ew, results)
+		return ew.err
+	case "json":
+		return JSON(w, results)
+	default:
+		return fmt.Errorf("report: unknown format %q (want one of %v)", format, Formats())
+	}
+}
+
+// errWriter latches the first write error, so sinks built on fmt.Fprintf
+// (which discards errors) still report a failed or truncated write.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
 }
 
 func ratio(a, b float64) float64 {

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -120,6 +121,56 @@ func TestFig11HasAllComponents(t *testing.T) {
 	for _, comp := range []string{"CPUs", "Caches", "NoC", "Others", "SPMs", "CohProt"} {
 		if !strings.Contains(out, comp) {
 			t.Errorf("Fig11 missing component %s", comp)
+		}
+	}
+}
+
+func TestJSONSink(t *testing.T) {
+	_, cache, hybrid, _ := maps()
+	var b strings.Builder
+	if err := JSON(&b, []system.Results{cache["CG"], hybrid["CG"]}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Memory systems must marshal by name, not enum value.
+	for _, want := range []string{`"cache"`, `"hybrid"`, `"Benchmark": "CG"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteResultsDispatch(t *testing.T) {
+	_, cache, _, _ := maps()
+	rs := []system.Results{cache["CG"]}
+	var csvOut, jsonOut strings.Builder
+	if err := WriteResults(&csvOut, "csv", rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvOut.String(), "benchmark,system,") {
+		t.Errorf("csv sink wrote %q", csvOut.String())
+	}
+	if err := WriteResults(&jsonOut, "json", rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(jsonOut.String()), "[") {
+		t.Errorf("json sink wrote %q", jsonOut.String())
+	}
+	if err := WriteResults(&csvOut, "xml", rs); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriteResultsPropagatesWriteErrors(t *testing.T) {
+	_, cache, _, _ := maps()
+	rs := []system.Results{cache["CG"]}
+	for _, format := range Formats() {
+		if err := WriteResults(failingWriter{}, format, rs); err == nil {
+			t.Errorf("%s sink swallowed the write error", format)
 		}
 	}
 }

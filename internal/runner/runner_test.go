@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/report"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+// tinySpecs is a small but representative sweep: two benchmarks on all
+// three memory systems at the test scale.
+func tinySpecs() []system.Spec {
+	return Matrix([]string{"EP", "IS"}, AllSystems, workloads.Tiny, 4)
+}
+
+// TestWorkerCountInvariance is the determinism contract of the whole
+// subsystem: fanning runs across goroutines must not change a single byte
+// of output, because each run owns a single-threaded engine and results are
+// collected in input order.
+func TestWorkerCountInvariance(t *testing.T) {
+	specs := tinySpecs()
+	var serial, parallel bytes.Buffer
+
+	r1, err := Collect(Run(specs, Options{Workers: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.CSV(&serial, r1)
+
+	r8, err := Collect(Run(specs, Options{Workers: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.CSV(&parallel, r8)
+
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("output differs between -workers 1 and -workers 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("sweep produced no output")
+	}
+}
+
+func TestResultsArriveInInputOrder(t *testing.T) {
+	specs := tinySpecs()
+	results := Run(specs, Options{Workers: len(specs)})
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("spec %s failed: %v", specs[i].Key(), r.Err)
+		}
+		if r.Spec != specs[i] {
+			t.Errorf("results[%d].Spec = %v, want %v", i, r.Spec, specs[i])
+		}
+		if r.Res.Benchmark != specs[i].Benchmark || r.Res.System != specs[i].System {
+			t.Errorf("results[%d] is %s/%v, want %s/%v",
+				i, r.Res.Benchmark, r.Res.System, specs[i].Benchmark, specs[i].System)
+		}
+		if r.Wall <= 0 {
+			t.Errorf("results[%d].Wall = %v, want > 0", i, r.Wall)
+		}
+	}
+}
+
+func TestProgressStreamsOneLinePerRun(t *testing.T) {
+	specs := tinySpecs()
+	var progress bytes.Buffer
+	if err := FirstError(Run(specs, Options{Workers: 2, Progress: &progress})); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(progress.String()), "\n")
+	if len(lines) != len(specs) {
+		t.Fatalf("progress lines = %d, want %d:\n%s", len(lines), len(specs), progress.String())
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "cycles") {
+			t.Errorf("progress line %q missing cycle count", l)
+		}
+	}
+}
+
+func TestFailedRunIsReportedNotFatal(t *testing.T) {
+	specs := []system.Spec{
+		{System: config.HybridReal, Benchmark: "EP", Scale: workloads.Tiny, Cores: 4},
+		{System: config.HybridReal, Benchmark: "NOPE", Scale: workloads.Tiny, Cores: 4},
+	}
+	results := Run(specs, Options{Workers: 2})
+	if results[0].Err != nil {
+		t.Fatalf("good spec failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("unknown benchmark did not fail")
+	}
+	if err := FirstError(results); err == nil || !strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("FirstError = %v, want mention of NOPE", err)
+	}
+	if _, err := Collect(results); err == nil {
+		t.Fatal("Collect accepted a failed sweep")
+	}
+}
+
+func TestEmptySweep(t *testing.T) {
+	if got := Run(nil, Options{Workers: 4}); len(got) != 0 {
+		t.Fatalf("Run(nil) = %v, want empty", got)
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	specs := Matrix(workloads.Names(), AllSystems, workloads.Small, 0)
+	if len(specs) != 18 {
+		t.Fatalf("full matrix = %d specs, want 18", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Key()] {
+			t.Fatalf("duplicate spec key %s", s.Key())
+		}
+		seen[s.Key()] = true
+	}
+}

@@ -7,15 +7,30 @@
 // interact only by scheduling closures on the shared Engine; there is no
 // goroutine-level concurrency inside a simulation, which keeps runs
 // reproducible and race-free by construction.
+//
+// Internally the queue is a two-level bucket (calendar) queue. Events within
+// the near horizon — the next 2^horizonBits cycles — land in a ring of
+// per-cycle FIFO slabs, so the hot path (hardware latencies are tens to
+// hundreds of cycles) is an append on schedule and a cursor bump on fire:
+// no comparisons, no reheapification, no per-event allocation in steady
+// state. The rare event beyond the horizon goes to a typed overflow min-heap
+// and migrates into the ring as the window advances. See DESIGN.md §3.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is the simulated clock, measured in core cycles.
 type Time uint64
+
+const (
+	// horizonBits sizes the near-horizon ring: events within
+	// 2^horizonBits cycles of now take the bucket fast path. Hardware
+	// model latencies (L1 2, L2 15, DRAM 100, DMA bursts) sit far below
+	// this, so the overflow heap is essentially cold.
+	horizonBits = 10
+	horizon     = Time(1) << horizonBits
+	ringMask    = horizon - 1
+)
 
 // event is a scheduled closure.
 type event struct {
@@ -24,39 +39,79 @@ type event struct {
 	fn   func()
 }
 
-// eventHeap is a min-heap ordered by (when, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+func eventLess(a, b event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// slab is one ring bucket: the FIFO of events for a single cycle. head
+// indexes the next event to fire; the backing array is reused across
+// window laps, so steady-state scheduling allocates nothing.
+type slab struct {
+	head int
+	evs  []event
+}
+
+func (s *slab) empty() bool { return s.head == len(s.evs) }
+
+// insert places ev keeping the pending tail sorted by seq. The fast path is
+// a plain append: seq grows monotonically, so live scheduling always lands
+// at the end. The ordered-insert path only runs when the overflow heap
+// drains an old (smaller-seq) event into a cycle that already has residents.
+func (s *slab) insert(ev event) {
+	if s.empty() {
+		s.head = 0
+		s.evs = s.evs[:0]
+	}
+	if n := len(s.evs); n == s.head || s.evs[n-1].seq < ev.seq {
+		s.evs = append(s.evs, ev)
+		return
+	}
+	i := s.head
+	for i < len(s.evs) && s.evs[i].seq < ev.seq {
+		i++
+	}
+	s.evs = append(s.evs, event{})
+	copy(s.evs[i+1:], s.evs[i:])
+	s.evs[i] = ev
+}
+
+// popFront removes and returns the earliest-scheduled pending event.
+func (s *slab) popFront() event {
+	ev := s.evs[s.head]
+	s.evs[s.head] = event{} // release the closure
+	s.head++
+	if s.head == len(s.evs) {
+		s.head = 0
+		s.evs = s.evs[:0]
+	}
+	return ev
 }
 
 // Engine is the event-driven simulation core. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
+	now Time
+	seq uint64
+
+	ring      []slab  // len horizon; slot for cycle t is ring[t&ringMask]
+	ringCount int     // events currently in the ring
+	overflow  []event // min-heap by (when, seq): events beyond the horizon
+
+	// scanHint is a cycle such that no pending ring event is earlier;
+	// the fire-path scan starts here instead of at now, making the scan
+	// amortized O(1) across a run.
+	scanHint Time
+
 	fired  uint64
 	halted bool
 }
 
 // NewEngine returns an empty engine at cycle 0.
 func NewEngine() *Engine {
-	return &Engine{queue: make(eventHeap, 0, 1024)}
+	return &Engine{ring: make([]slab, horizon)}
 }
 
 // Now reports the current simulated cycle.
@@ -67,7 +122,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.ringCount + len(e.overflow) }
 
 // Schedule enqueues fn to run delay cycles from now. A delay of zero runs fn
 // later in the current cycle, after all previously scheduled work for this
@@ -86,21 +141,90 @@ func (e *Engine) At(t Time, fn func()) {
 	if fn == nil {
 		panic("sim: scheduling nil event")
 	}
-	heap.Push(&e.queue, event{when: t, seq: e.seq, fn: fn})
+	ev := event{when: t, seq: e.seq, fn: fn}
 	e.seq++
+	if t < e.now+horizon {
+		e.pushRing(ev)
+		return
+	}
+	e.pushOverflow(ev)
+}
+
+func (e *Engine) pushRing(ev event) {
+	e.ring[ev.when&ringMask].insert(ev)
+	e.ringCount++
+	if ev.when < e.scanHint {
+		e.scanHint = ev.when
+	}
+}
+
+// drainTo migrates overflow events with when < limit into the ring. Events
+// drain in (when, seq) order; slab.insert restores FIFO position ahead of
+// any younger residents scheduled after the window already covered their
+// cycle.
+func (e *Engine) drainTo(limit Time) {
+	for len(e.overflow) > 0 && e.overflow[0].when < limit {
+		e.pushRing(e.popOverflow())
+	}
 }
 
 // Step executes the single earliest event. It reports false when the queue is
 // empty or the engine has been halted.
 func (e *Engine) Step() bool {
-	if e.halted || len(e.queue) == 0 {
+	if e.halted {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
-	e.now = ev.when
+	if e.ringCount == 0 {
+		if len(e.overflow) == 0 {
+			return false
+		}
+		// Near window is dry: jump the clock to the earliest far event
+		// so the window [now, now+horizon) covers it. Nothing can fire
+		// in between — the ring is empty and overflow holds nothing
+		// earlier. Keeping now as the window base preserves the
+		// invariant that every ring event's cycle maps to a unique slab.
+		if t := e.overflow[0].when; t > e.now {
+			e.now = t
+		}
+	}
+	e.drainTo(e.now + horizon)
+	s := e.scanHint
+	if s < e.now {
+		s = e.now
+	}
+	for e.ring[s&ringMask].empty() {
+		s++
+	}
+	e.scanHint = s
+	ev := e.ring[s&ringMask].popFront()
+	e.ringCount--
+	e.now = s
 	e.fired++
 	ev.fn()
 	return true
+}
+
+// nextTime reports the timestamp of the earliest pending event. As a side
+// effect it advances scanHint past verified-empty cycles, which Step reuses.
+func (e *Engine) nextTime() (Time, bool) {
+	if e.ringCount > 0 {
+		// All ring events precede every overflow event: an event only
+		// overflows when it lies beyond the window end, which in turn
+		// bounds every ring resident.
+		s := e.scanHint
+		if s < e.now {
+			s = e.now
+		}
+		for e.ring[s&ringMask].empty() {
+			s++
+		}
+		e.scanHint = s
+		return s, true
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].when, true
+	}
+	return 0, false
 }
 
 // Run executes events until the queue drains or Halt is called.
@@ -112,7 +236,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= limit, leaving later events
 // queued. The clock is advanced to limit if the queue drains earlier.
 func (e *Engine) RunUntil(limit Time) {
-	for !e.halted && len(e.queue) > 0 && e.queue[0].when <= limit {
+	for !e.halted {
+		t, ok := e.nextTime()
+		if !ok || t > limit {
+			break
+		}
 		e.Step()
 	}
 	if e.now < limit {
@@ -126,3 +254,48 @@ func (e *Engine) Halt() { e.halted = true }
 
 // Halted reports whether Halt has been called.
 func (e *Engine) Halted() bool { return e.halted }
+
+// ---------------------------------------------------------------------------
+// Typed overflow min-heap — hand-rolled so far-horizon events pay no
+// interface boxing either.
+
+func (e *Engine) pushOverflow(ev event) {
+	h := append(e.overflow, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.overflow = h
+}
+
+func (e *Engine) popOverflow() event {
+	h := e.overflow
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the closure
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && eventLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && eventLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e.overflow = h
+	return top
+}

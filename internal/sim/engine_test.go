@@ -215,12 +215,162 @@ func TestSameCycleFIFOProperty(t *testing.T) {
 	}
 }
 
+// --- bucket/calendar queue edge cases -------------------------------------
+
+func TestFarHorizonOverflow(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	// Mix of near (ring) and far (overflow heap) events, scheduled out of
+	// time order.
+	delays := []Time{3 * horizon, 1, 10 * horizon, horizon - 1, horizon, 2*horizon + 5, 0}
+	for _, d := range delays {
+		e.Schedule(d, func() { fired = append(fired, e.Now()) })
+	}
+	if e.Pending() != len(delays) {
+		t.Fatalf("Pending() = %d, want %d", e.Pending(), len(delays))
+	}
+	e.Run()
+	want := []Time{0, 1, horizon - 1, horizon, 2*horizon + 5, 3 * horizon, 10 * horizon}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestOverflowDrainPreservesFIFO pins the subtle merge case: an event
+// scheduled for cycle T while T was beyond the horizon (overflow) must still
+// fire BEFORE an event scheduled for the same T after the window had advanced
+// to cover it (ring resident), because it was scheduled first.
+func TestOverflowDrainPreservesFIFO(t *testing.T) {
+	e := NewEngine()
+	const target = 3 * horizon / 2 // beyond the initial window
+	var order []string
+	e.At(target, func() { order = append(order, "early") }) // goes to overflow
+	// An intermediate event inside the window; by the time it fires, the
+	// window covers target, so the next schedule is a ring resident.
+	e.Schedule(horizon-1, func() {
+		e.At(target, func() { order = append(order, "late") })
+	})
+	e.Run()
+	if got := len(order); got != 2 {
+		t.Fatalf("fired %d events at target, want 2", got)
+	}
+	if order[0] != "early" || order[1] != "late" {
+		t.Fatalf("order = %v, want [early late] (overflow event was scheduled first)", order)
+	}
+}
+
+func TestManySameCycleAcrossOverflow(t *testing.T) {
+	e := NewEngine()
+	const target = 2 * horizon
+	var order []int
+	// First half scheduled while target is far (overflow), second half
+	// scheduled after the window advanced (ring).
+	for i := 0; i < 8; i++ {
+		i := i
+		e.At(target, func() { order = append(order, i) })
+	}
+	e.Schedule(3*horizon/2, func() {
+		for i := 8; i < 16; i++ {
+			i := i
+			e.At(target, func() { order = append(order, i) })
+		}
+	})
+	e.Run()
+	if len(order) != 16 {
+		t.Fatalf("fired %d events, want 16", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want 0..15 in sequence", order)
+		}
+	}
+}
+
+func TestRunUntilAcrossEmptyRing(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	// Only far events: the ring is empty until the window jumps.
+	for _, d := range []Time{5 * horizon, 7 * horizon} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(6 * horizon)
+	if len(fired) != 1 || fired[0] != 5*horizon {
+		t.Fatalf("fired = %v, want [%d]", fired, 5*horizon)
+	}
+	if e.Now() != 6*horizon {
+		t.Fatalf("Now() = %d, want %d", e.Now(), 6*horizon)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	e.RunUntil(100 * horizon)
+	if len(fired) != 2 || e.Now() != 100*horizon {
+		t.Fatalf("fired = %v, Now() = %d", fired, e.Now())
+	}
+}
+
+func TestScheduleBehindScanHint(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(500, func() { fired = append(fired, e.Now()) })
+	// RunUntil(100) fires nothing but peeks ahead, advancing the internal
+	// scan hint to 500. A later schedule at 200 must still fire first.
+	e.RunUntil(100)
+	e.At(200, func() { fired = append(fired, e.Now()) })
+	e.Run()
+	if len(fired) != 2 || fired[0] != 200 || fired[1] != 500 {
+		t.Fatalf("fired = %v, want [200 500]", fired)
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()
 		for j := 0; j < 1000; j++ {
 			e.Schedule(Time(j%97), func() {})
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineSteadyState measures the per-event cost with a warm engine:
+// a self-sustaining event cascade like the hardware models generate. This is
+// the number the bucket queue optimizes — slab arrays are reused, so the
+// steady state allocates nothing per event.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the slabs once.
+	for j := 0; j < 64; j++ {
+		e.Schedule(Time(j%7), fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%97), fn)
+		if i%64 == 63 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineFarHorizon stresses the overflow heap: every event lands
+// beyond the near window and must migrate through a drain.
+func BenchmarkEngineFarHorizon(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(horizon*Time(1+j%13), func() {})
 		}
 		e.Run()
 	}

@@ -1,0 +1,100 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/workloads"
+)
+
+// DefaultSeed is the workload-generation seed used by every exhibit of the
+// evaluation; fixing it makes each run a pure function of its Spec.
+const DefaultSeed = 0xC0FFEE
+
+// Spec declares one simulation run as a plain value: which machine, which
+// benchmark, at what scale, with which overrides. A Spec carries no wired
+// hardware, so it can be enumerated, hashed (Key), scheduled across workers,
+// and cached before anything is built. Execute turns it into Results.
+type Spec struct {
+	System    config.MemorySystem
+	Benchmark string // a workloads name: CG, EP, FT, IS, MG, SP
+	Scale     workloads.Scale
+
+	// Cores overrides the Table 1 core count when > 0; the mesh is
+	// re-dimensioned to match (tests and scaled-down sweeps).
+	Cores int
+
+	// Seed overrides the workload-generation seed when != 0.
+	Seed uint64
+
+	// FilterEntries overrides the per-core filter capacity when > 0 —
+	// the knob DESIGN.md's Ablation A sweeps.
+	FilterEntries int
+
+	// MaxEvents bounds the run (0 = unbounded); exceeding it is an error.
+	MaxEvents uint64
+}
+
+// seed resolves the effective workload seed.
+func (s Spec) seed() uint64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return DefaultSeed
+}
+
+// Key is a stable, human-readable identity for the run — usable as a map
+// key, a cache filename, or a progress label. Two Specs with equal Keys
+// produce byte-identical Results.
+func (s Spec) Key() string {
+	k := fmt.Sprintf("%s/%s/%s", s.Benchmark, s.System, s.Scale)
+	if s.Cores > 0 {
+		k += fmt.Sprintf("/c%d", s.Cores)
+	}
+	if s.FilterEntries > 0 {
+		k += fmt.Sprintf("/f%d", s.FilterEntries)
+	}
+	if s.Seed != 0 {
+		k += fmt.Sprintf("/s%x", s.Seed)
+	}
+	if s.MaxEvents != 0 {
+		k += fmt.Sprintf("/e%d", s.MaxEvents)
+	}
+	return k
+}
+
+// Config materializes the machine configuration the Spec describes.
+func (s Spec) Config() config.Config {
+	cfg := config.ForSystem(s.System)
+	if s.FilterEntries > 0 {
+		cfg.FilterEntries = s.FilterEntries
+	}
+	if s.Cores > 0 && s.Cores != cfg.Cores {
+		cfg = shrink(cfg, s.Cores)
+	}
+	return cfg
+}
+
+// Validate reports whether the Spec names a buildable run.
+func (s Spec) Validate() error {
+	for _, n := range workloads.Names() {
+		if n == s.Benchmark {
+			return s.Config().Validate()
+		}
+	}
+	return fmt.Errorf("system: unknown benchmark %q (want one of %v)", s.Benchmark, workloads.Names())
+}
+
+// Execute builds the machine, runs the benchmark to completion, and returns
+// the measurements. Each call wires a fresh single-threaded engine, so
+// concurrent Executes of different Specs are independent and race-free.
+func (s Spec) Execute() (Results, error) {
+	if err := s.Validate(); err != nil {
+		return Results{}, err
+	}
+	m, err := Build(s.Config(), workloads.Build(s.Benchmark, s.Scale), s.seed())
+	if err != nil {
+		return Results{}, err
+	}
+	return m.Run(s.MaxEvents)
+}

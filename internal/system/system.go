@@ -224,6 +224,7 @@ type Results struct {
 	NoCFlitHops uint64
 
 	FilterHitRatio float64
+	FDirBroadcasts uint64
 	Energy         energy.Breakdown
 
 	// L1D behaviour (drives the Fig. 9 analysis).
@@ -298,6 +299,7 @@ func (m *Machine) collect() Results {
 		in.FilterInvals = ps.Get("filter.invalidations")
 		in.GuardedPresent = compiler.Characterize(m.bench).GuardedRefs > 0
 		r.FilterHitRatio = m.Protocol.FilterHitRatio()
+		r.FDirBroadcasts = ps.Get("fdir.broadcasts")
 	} else {
 		r.FilterHitRatio = 1
 	}

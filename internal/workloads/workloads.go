@@ -48,6 +48,18 @@ func (s Scale) div(n, min int) int {
 	return n
 }
 
+// ParseScale maps a scale name (as used by command-line flags) to its Scale.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	default:
+		return 0, fmt.Errorf("workloads: unknown scale %q (want tiny or small)", name)
+	}
+}
+
 // Names lists the benchmarks in the paper's order.
 func Names() []string { return []string{"CG", "EP", "FT", "IS", "MG", "SP"} }
 

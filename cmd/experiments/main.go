@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,10 +37,18 @@ func main() {
 	cores := flag.Int("cores", 64, "core count")
 	scaleName := flag.String("scale", "small", "workload scale: tiny, small")
 	only := flag.String("only", "", "run one exhibit: table1, table2, fig7, fig8, fig9, fig10, fig11, ablation")
-	outPath := flag.String("out", "", "also write all results to this file (.csv or .json)")
-	format := flag.String("format", "", "output format for -out: csv or json (default: from the file extension)")
+	outPath := flag.String("out", "", "also write all results to this file (.csv, .json or .jsonl)")
+	format := flag.String("format", "", "output format for -out: csv, json or jsonl (default: from the file extension)")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per host CPU)")
+	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this much wall-clock (0 = unlimited)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	scale, err := workloads.ParseScale(*scaleName)
 	if err != nil {
@@ -89,7 +98,7 @@ func main() {
 	if needsRuns {
 		names := workloads.Names()
 		specs := runner.Matrix(names, runner.AllSystems, scale, *cores)
-		all, err = runner.Collect(runner.Run(specs, opt))
+		all, err = runner.Collect(runner.RunContext(ctx, specs, opt))
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -130,7 +139,7 @@ func main() {
 	}
 
 	if want("ablation") {
-		runAblation(*cores, scale, opt)
+		runAblation(ctx, *cores, scale, opt)
 	}
 
 	if *outPath != "" && len(all) > 0 {
@@ -152,6 +161,9 @@ func sinkFormat(format, path string) string {
 	if format != "" {
 		return format
 	}
+	if strings.HasSuffix(path, ".jsonl") {
+		return "jsonl"
+	}
 	if strings.HasSuffix(path, ".json") {
 		return "json"
 	}
@@ -160,7 +172,7 @@ func sinkFormat(format, path string) string {
 
 // runAblation sweeps the filter size on IS (the most filter-sensitive
 // benchmark) — the design-choice study DESIGN.md calls Ablation A.
-func runAblation(cores int, scale workloads.Scale, opt runner.Options) {
+func runAblation(ctx context.Context, cores int, scale workloads.Scale, opt runner.Options) {
 	sizes := []int{8, 16, 32, 48, 64}
 	specs := make([]system.Spec, len(sizes))
 	for i, entries := range sizes {
@@ -172,7 +184,7 @@ func runAblation(cores int, scale workloads.Scale, opt runner.Options) {
 			FilterEntries: entries,
 		}
 	}
-	results, err := runner.Collect(runner.Run(specs, opt))
+	results, err := runner.Collect(runner.RunContext(ctx, specs, opt))
 	if err != nil {
 		fatalf("ablation: %v", err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,18 +31,12 @@ func main() {
 	showConfig := flag.Bool("config", false, "print the Table 1 machine description and exit")
 	csv := flag.Bool("csv", false, "emit results as CSV")
 	maxEvents := flag.Uint64("max-events", 0, "abort after this many simulation events (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this much wall-clock (0 = unlimited)")
 	flag.Parse()
 
-	var sys config.MemorySystem
-	switch *sysName {
-	case "cache":
-		sys = config.CacheBased
-	case "hybrid":
-		sys = config.HybridReal
-	case "ideal":
-		sys = config.HybridIdeal
-	default:
-		fmt.Fprintf(os.Stderr, "unknown system %q\n", *sysName)
+	sys, err := config.ParseMemorySystem(*sysName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -63,7 +58,13 @@ func main() {
 		Cores:     *cores,
 		MaxEvents: *maxEvents,
 	}
-	r, err := spec.Execute()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	r, err := spec.ExecuteContext(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,169 @@
+// Command hybridsimd is the simulation daemon: it serves the Spec/runner
+// core over HTTP with a content-addressed result cache, so a fixed
+// evaluation matrix re-requested many times costs one pass of simulation.
+//
+// Serve mode (default):
+//
+//	hybridsimd -addr :8080 -workers 8 -cache-entries 512 -cache-dir ./results
+//
+// Client mode (-client URL) drives a running daemon, for CI smoke tests and
+// shell pipelines:
+//
+//	hybridsimd -client http://127.0.0.1:8080 -bench CG -system hybrid -scale tiny -cores 4
+//	hybridsimd -client http://127.0.0.1:8080 -sweep -scale tiny -cores 4
+//	hybridsimd -client http://127.0.0.1:8080 -stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/rescache"
+	"repro/internal/service"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	// Serve-mode flags.
+	addr := flag.String("addr", ":8080", "serve mode: HTTP listen address")
+	workers := flag.Int("workers", 0, "simulation workers (0 = one per host CPU)")
+	queue := flag.Int("queue", service.DefaultQueueDepth, "job queue depth; a full queue rejects submissions with 503")
+	cacheEntries := flag.Int("cache-entries", service.DefaultCacheEntries, "in-memory result cache capacity (specs)")
+	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result tier (empty = memory only)")
+
+	// Client-mode flags.
+	client := flag.String("client", "", "client mode: base URL of a running daemon")
+	benchName := flag.String("bench", "CG", "client mode: benchmark to run")
+	sysName := flag.String("system", "hybrid", "client mode: machine (cache, hybrid, ideal)")
+	scaleName := flag.String("scale", "tiny", "client mode: workload scale")
+	cores := flag.Int("cores", 4, "client mode: core count (0 = Table 1 default)")
+	sweep := flag.Bool("sweep", false, "client mode: stream the full benchmark x system matrix instead of one run")
+	stats := flag.Bool("stats", false, "client mode: print daemon stats and exit")
+	timeout := flag.Duration("timeout", 0, "client mode: per-request deadline forwarded to the daemon (0 = none)")
+	flag.Parse()
+
+	if *client != "" {
+		runClient(*client, *benchName, *sysName, *scaleName, *cores, *sweep, *stats, *timeout)
+		return
+	}
+	serve(*addr, *workers, *queue, *cacheEntries, *cacheDir)
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully.
+func serve(addr string, workers, queue, cacheEntries int, cacheDir string) {
+	cache, err := rescache.New(cacheEntries, cacheDir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv := service.New(service.Options{Workers: workers, QueueDepth: queue, Cache: cache})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "hybridsimd listening on %s (cache %d entries", addr, cacheEntries)
+	if cacheDir != "" {
+		fmt.Fprintf(os.Stderr, " + disk tier %s", cacheDir)
+	}
+	fmt.Fprintln(os.Stderr, ")")
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatalf("%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "hybridsimd: shut down")
+}
+
+// runClient executes one client-mode action against a running daemon.
+func runClient(base, benchName, sysName, scaleName string, cores int, sweep, stats bool, timeout time.Duration) {
+	c := &service.Client{Base: base}
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		fatalf("daemon not healthy: %v", err)
+	}
+
+	switch {
+	case stats:
+		st, err := c.Stats(ctx)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		total := st.Cache.Hits + st.Cache.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(st.Cache.Hits) / float64(total)
+		}
+		fmt.Printf("cache: entries=%d/%d hits=%d (mem=%d disk=%d dedup=%d) misses=%d hit-rate=%.2f%%\n",
+			st.Cache.Entries, st.Cache.Capacity, st.Cache.Hits, st.Cache.MemHits,
+			st.Cache.DiskHits, st.Cache.Dedup, st.Cache.Misses, rate*100)
+		fmt.Printf("queue: depth=%d/%d workers=%d\n", st.QueueDepth, st.QueueCap, st.Workers)
+		fmt.Printf("runs:  submitted=%d completed=%d failed=%d rejected=%d\n",
+			st.Submitted, st.Completed, st.Failed, st.Rejected)
+
+	case sweep:
+		sum, err := c.Sweep(ctx, service.Matrix{Scale: scaleName, Cores: cores}, timeout,
+			func(rec service.RunRecord) error {
+				if rec.Status != "done" || rec.Results == nil {
+					fmt.Printf("[%d/%d] %s %s: %s\n", rec.Index+1, rec.Total, rec.Spec.Key(), rec.Status, rec.Error)
+					return nil
+				}
+				fmt.Printf("[%d/%d] %s cycles=%d cached=%v wall=%.1fms\n",
+					rec.Index+1, rec.Total, rec.Spec.Key(), rec.Results.Cycles, rec.Cached, rec.WallMS)
+				return nil
+			})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("sweep: %d runs, %d failed, %.1fs wall, cache hit-rate %s\n",
+			sum.Runs, sum.Failed, sum.WallMS/1000, hitRate(sum.Cache))
+		if sum.Failed > 0 {
+			os.Exit(1)
+		}
+
+	default:
+		sys, err := config.ParseMemorySystem(sysName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		scale, err := workloads.ParseScale(scaleName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec := system.Spec{System: sys, Benchmark: benchName, Scale: scale, Cores: cores}
+		rec, err := c.Run(ctx, spec, timeout)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		r := rec.Results
+		fmt.Printf("%s key=%s cached=%v wall=%.1fms\n", spec.Key(), rec.Key, rec.Cached, rec.WallMS)
+		fmt.Printf("  cycles=%d retired=%d packets=%d energy=%.0f\n",
+			r.Cycles, r.Retired, r.TotalPkts, r.Energy.Total())
+	}
+}
+
+func hitRate(st rescache.Stats) string {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", float64(st.Hits)/float64(total)*100)
+}

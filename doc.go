@@ -3,10 +3,11 @@
 // Manycore Architectures" (Alvarez et al., ISCA 2015).
 //
 // The simulator, protocol and workloads live under internal/; runnable
-// entry points are cmd/hybridsim, cmd/experiments and the examples/ mains.
-// bench_test.go in this directory regenerates every table and figure of the
-// paper's evaluation as testing.B benchmarks (scaled down); use
-// cmd/experiments for the full-size runs:
+// entry points are cmd/hybridsim, cmd/experiments, the cmd/hybridsimd
+// daemon and the examples/ mains. bench_test.go in this directory
+// regenerates every table and figure of the paper's evaluation as
+// testing.B benchmarks (scaled down); use cmd/experiments for the
+// full-size runs:
 //
 //	go run ./cmd/experiments -scale tiny -workers 8
 //
@@ -17,6 +18,11 @@
 //	specs := runner.Matrix(workloads.Names(), runner.AllSystems, workloads.Small, 0)
 //	results, err := runner.Collect(runner.Run(specs, runner.Options{Workers: 8}))
 //	report.CSV(os.Stdout, results)
+//
+// Because a run is a pure function of its Spec, results memoize safely:
+// cmd/hybridsimd serves the same core over HTTP behind a content-addressed
+// cache (internal/rescache + internal/service), so repeated requests for a
+// Spec cost one simulation in total.
 //
 // See README.md for the quickstart and DESIGN.md for methodology.
 package repro

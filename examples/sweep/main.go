@@ -3,14 +3,18 @@
 // against FilterDir round-trips. IS — the benchmark with the weakest guarded
 // locality — is the most sensitive, exactly as the paper's Fig. 8 suggests.
 //
-// Each sweep point is one declarative system.Spec; the runner fans them out
-// across worker goroutines, so the sweep finishes in the wall-clock of its
-// slowest point instead of the sum of all of them.
+// Each sweep point is one declarative system.Spec. By default the runner
+// fans them out across local worker goroutines; with -daemon the same Specs
+// are submitted to a running hybridsimd instead, so a repeated sweep is
+// answered from the daemon's content-addressed result cache:
 //
 //	go run ./examples/sweep -workers 8
+//	go run ./cmd/hybridsimd &
+//	go run ./examples/sweep -daemon http://127.0.0.1:8080
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,12 +23,14 @@ import (
 	"repro/internal/config"
 	"repro/internal/noc"
 	"repro/internal/runner"
+	"repro/internal/service"
 	"repro/internal/system"
 	"repro/internal/workloads"
 )
 
 func main() {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per host CPU)")
+	daemon := flag.String("daemon", "", "run the sweep through a hybridsimd at this base URL instead of locally")
 	flag.Parse()
 
 	const cores = 16
@@ -41,10 +47,16 @@ func main() {
 	}
 
 	fmt.Println("filter size sweep: IS on the hybrid system (16 cores, small scale)")
-	results, err := runner.Collect(runner.Run(specs, runner.Options{
-		Workers:  *workers,
-		Progress: os.Stderr,
-	}))
+	var results []system.Results
+	var err error
+	if *daemon != "" {
+		results, err = runRemote(*daemon, specs)
+	} else {
+		results, err = runner.Collect(runner.Run(specs, runner.Options{
+			Workers:  *workers,
+			Progress: os.Stderr,
+		}))
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,4 +70,29 @@ func main() {
 	}
 	fmt.Println("\nBigger filters push the hit ratio up and protocol traffic down until")
 	fmt.Println("the guarded working set fits; Table 1's 48 entries sit at the knee.")
+}
+
+// runRemote submits the sweep points to a hybridsimd and blocks for their
+// Results — re-running the example against the same daemon costs nothing
+// but the HTTP round-trip.
+func runRemote(base string, specs []system.Spec) ([]system.Results, error) {
+	c := &service.Client{Base: base}
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		return nil, fmt.Errorf("daemon not healthy: %w", err)
+	}
+	records, err := c.Submit(ctx, service.SubmitRequest{Specs: specs}, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]system.Results, len(records))
+	for i, rec := range records {
+		if rec.Status != "done" || rec.Results == nil {
+			return nil, fmt.Errorf("%s: %s (%s)", rec.Key, rec.Status, rec.Error)
+		}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s cached=%v wall=%.1fms\n",
+			i+1, len(records), rec.Spec.Key(), rec.Cached, rec.WallMS)
+		results[i] = *rec.Results
+	}
+	return results, nil
 }

@@ -60,6 +60,22 @@ func (m *MemorySystem) UnmarshalJSON(b []byte) error {
 	return fmt.Errorf("config: unknown memory system %q", s)
 }
 
+// ParseMemorySystem maps a user-facing name to its MemorySystem. It accepts
+// the canonical String() names plus "ideal", the short form every CLI flag
+// and API query parameter uses for HybridIdeal.
+func ParseMemorySystem(name string) (MemorySystem, error) {
+	switch name {
+	case "cache":
+		return CacheBased, nil
+	case "hybrid":
+		return HybridReal, nil
+	case "ideal", "hybrid-ideal":
+		return HybridIdeal, nil
+	default:
+		return 0, fmt.Errorf("config: unknown memory system %q (want cache, hybrid or ideal)", name)
+	}
+}
+
 // Config holds every machine parameter. Sizes are bytes unless suffixed.
 type Config struct {
 	System MemorySystem

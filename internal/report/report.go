@@ -215,8 +215,21 @@ func JSON(w io.Writer, results []system.Results) error {
 	return enc.Encode(results)
 }
 
+// JSONLines emits one compact JSON object per line per run — the streaming
+// sibling of JSON, and the shape the service daemon's sweep endpoint
+// speaks, so files written here and captured daemon streams diff cleanly.
+func JSONLines(w io.Writer, results []system.Results) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Formats lists the result-sink formats WriteResults accepts.
-func Formats() []string { return []string{"csv", "json"} }
+func Formats() []string { return []string{"csv", "json", "jsonl"} }
 
 // WriteResults dispatches to a sink by format name, so drivers can stay
 // agnostic of how results are persisted.
@@ -228,6 +241,8 @@ func WriteResults(w io.Writer, format string, results []system.Results) error {
 		return ew.err
 	case "json":
 		return JSON(w, results)
+	case "jsonl":
+		return JSONLines(w, results)
 	default:
 		return fmt.Errorf("report: unknown format %q (want one of %v)", format, Formats())
 	}

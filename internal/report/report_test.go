@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -158,6 +159,27 @@ func TestWriteResultsDispatch(t *testing.T) {
 	}
 	if err := WriteResults(&csvOut, "xml", rs); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+func TestJSONLinesSink(t *testing.T) {
+	_, cache, hybrid, _ := maps()
+	var b strings.Builder
+	if err := WriteResults(&b, "jsonl", []system.Results{cache["CG"], hybrid["CG"]}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl wrote %d lines for 2 results:\n%s", len(lines), b.String())
+	}
+	for _, l := range lines {
+		var r system.Results
+		if err := json.Unmarshal([]byte(l), &r); err != nil {
+			t.Fatalf("line %q is not standalone JSON: %v", l, err)
+		}
+		if r.Benchmark != "CG" {
+			t.Fatalf("line round-tripped to %+v, want CG run", r)
+		}
 	}
 }
 

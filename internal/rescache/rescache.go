@@ -1,0 +1,286 @@
+// Package rescache is a content-addressed result store for simulation runs.
+//
+// Every run is a pure function of its Spec (single-threaded engine, fixed
+// seed — DESIGN.md §8), so Results can be memoized forever under the Spec's
+// canonical Hash. The cache is two-tiered: a bounded in-memory LRU for the
+// hot set, and an optional on-disk JSON tier (one file per hash) that
+// survives restarts. Concurrent requests for the same Spec are deduplicated
+// with a singleflight, so N callers cost one Execute.
+package rescache
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/system"
+)
+
+// Entry is the unit the cache stores and round-trips to disk: the Spec that
+// produced the Results, so a disk file is self-describing and verifiable
+// (the file name must equal Spec.Hash()).
+type Entry struct {
+	Spec system.Spec    `json:"spec"`
+	Res  system.Results `json:"results"`
+}
+
+// Stats counts cache traffic. Hits covers both tiers plus singleflight
+// followers — every request that did not pay for an Execute of its own.
+type Stats struct {
+	Entries   int    `json:"entries"`  // memory-tier population
+	Capacity  int    `json:"capacity"` // memory-tier bound
+	Hits      uint64 `json:"hits"`
+	MemHits   uint64 `json:"mem_hits"`
+	DiskHits  uint64 `json:"disk_hits"`
+	Dedup     uint64 `json:"deduplicated"` // callers that joined an in-flight run
+	Misses    uint64 `json:"misses"`       // requests that executed
+	Evictions uint64 `json:"evictions"`
+}
+
+// Cache is safe for concurrent use.
+type Cache struct {
+	cap int
+	dir string // "" disables the disk tier
+
+	mu      sync.Mutex
+	ll      *list.List               // MRU at front; values are *Entry
+	entries map[string]*list.Element // hash -> element
+	flights map[string]*flight
+	stats   Stats
+}
+
+// flight is one in-progress fill; followers block on done and share the
+// leader's outcome.
+type flight struct {
+	done chan struct{}
+	res  system.Results
+	err  error
+}
+
+// New builds a cache holding up to capacity entries in memory. A non-empty
+// dir enables the disk tier (created if missing); disk entries are never
+// evicted, so the disk is the larger, slower tier.
+func New(capacity int, dir string) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("rescache: capacity %d < 1", capacity)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("rescache: %w", err)
+		}
+	}
+	return &Cache{
+		cap:     capacity,
+		dir:     dir,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Capacity = c.cap
+	return s
+}
+
+// Get reports the cached Results for spec, consulting memory then disk.
+func (c *Cache) Get(spec system.Spec) (system.Results, bool) {
+	return c.GetKey(spec.Hash())
+}
+
+// GetKey is Get addressed by a canonical hash directly — the form a service
+// poll URL carries.
+func (c *Cache) GetKey(key string) (system.Results, bool) {
+	e, ok := c.EntryKey(key)
+	return e.Res, ok
+}
+
+// EntryKey returns the full cached entry — Spec and Results — for a hash,
+// consulting memory then disk. Disk hits are promoted into memory.
+func (c *Cache) EntryKey(key string) (Entry, bool) {
+	c.mu.Lock()
+	if e, ok := c.lookupLocked(key); ok {
+		c.stats.Hits++
+		c.stats.MemHits++
+		c.mu.Unlock()
+		return e, true
+	}
+	c.mu.Unlock()
+	if e, ok := c.diskGet(key); ok {
+		c.mu.Lock()
+		c.storeLocked(key, e)
+		c.stats.Hits++
+		c.stats.DiskHits++
+		c.mu.Unlock()
+		return e, true
+	}
+	return Entry{}, false
+}
+
+// GetOrRun returns the cached Results for spec, executing run exactly once
+// per key on a miss no matter how many callers race. hit reports whether
+// this caller avoided an Execute of its own (memory, disk, or another
+// caller's in-flight run). Failed runs are never cached: the error is
+// shared with the followers of that flight, then forgotten so a later
+// request retries. A flight that died of its *leader's* cancellation is
+// not inherited: a follower whose own context is still live retries (and
+// becomes the new leader), so one client's disconnect cannot fail an
+// unrelated request that happened to share the Spec.
+func (c *Cache) GetOrRun(ctx context.Context, spec system.Spec, run func(context.Context) (system.Results, error)) (res system.Results, hit bool, err error) {
+	key := spec.Hash()
+	for {
+		c.mu.Lock()
+		if e, ok := c.lookupLocked(key); ok {
+			c.stats.Hits++
+			c.stats.MemHits++
+			c.mu.Unlock()
+			return e.Res, true, nil
+		}
+		f, inFlight := c.flights[key]
+		if !inFlight {
+			break
+		}
+		c.stats.Hits++
+		c.stats.Dedup++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if isContextErr(f.err) && ctx.Err() == nil {
+				continue // the leader was canceled, this caller was not
+			}
+			return f.res, true, f.err
+		case <-ctx.Done():
+			return system.Results{}, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	// This caller is the flight leader: check the disk tier (I/O stays
+	// outside the lock, inside the flight so it happens once), then run.
+	if e, ok := c.diskGet(key); ok {
+		f.res = e.Res
+		c.mu.Lock()
+		c.storeLocked(key, e)
+		c.stats.Hits++
+		c.stats.DiskHits++
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+		return f.res, true, nil
+	}
+
+	f.res, f.err = run(ctx)
+	c.mu.Lock()
+	c.stats.Misses++
+	if f.err == nil {
+		c.storeLocked(key, Entry{Spec: spec, Res: f.res})
+	}
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	if f.err == nil && c.dir != "" {
+		// Disk persistence is best-effort; a read-only disk must not fail
+		// the run that produced a perfectly good result.
+		_ = c.diskPut(key, Entry{Spec: spec, Res: f.res})
+	}
+	return f.res, false, f.err
+}
+
+// isContextErr reports whether err is (or wraps) a cancellation.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// lookupLocked finds key in the memory tier and marks it most-recent.
+func (c *Cache) lookupLocked(key string) (Entry, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return Entry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return *el.Value.(*entryNode).e, true
+}
+
+// entryNode carries the key alongside the Entry so eviction can unmap it.
+type entryNode struct {
+	key string
+	e   *Entry
+}
+
+// storeLocked inserts (or refreshes) key as most-recent and evicts the
+// least-recent entry past capacity.
+func (c *Cache) storeLocked(key string, e Entry) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entryNode).e = &e
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entryNode{key: key, e: &e})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*entryNode).key)
+		c.stats.Evictions++
+	}
+}
+
+// path maps a hash to its disk file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// diskGet loads and verifies one disk entry. Corrupt, foreign, or stale
+// files (the entry's Spec no longer hashes to its file name) read as
+// misses, never as errors — the run simply re-executes.
+func (c *Cache) diskGet(key string) (Entry, bool) {
+	if c.dir == "" {
+		return Entry{}, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Entry{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return Entry{}, false
+	}
+	if e.Spec.Hash() != key {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// diskPut writes one entry atomically (temp file + rename), so a crashed or
+// concurrent writer can never leave a torn file a reader would half-parse.
+func (c *Cache) diskPut(key string, e Entry) error {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}

@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -32,6 +33,14 @@ type Result struct {
 	Wall time.Duration // host wall-clock spent on this run
 }
 
+// RunOne executes a single Spec under ctx and times it — the unit of work
+// shared by the sweep workers below and by the service's job queue.
+func RunOne(ctx context.Context, spec system.Spec) Result {
+	t0 := time.Now()
+	res, err := spec.ExecuteContext(ctx)
+	return Result{Spec: spec, Res: res, Err: err, Wall: time.Since(t0)}
+}
+
 // Options configures a sweep.
 type Options struct {
 	// Workers is the worker-pool size; values < 1 mean one worker per
@@ -47,6 +56,14 @@ type Options struct {
 // input, regardless of worker count or completion order. Individual run
 // failures are reported per Result, not by aborting the sweep.
 func Run(specs []system.Spec, opt Options) []Result {
+	return RunContext(context.Background(), specs, opt)
+}
+
+// RunContext is Run with cancellation: once ctx is done, no new Spec is
+// dispatched and in-flight runs are stopped cooperatively (see
+// system.Machine.RunContext). Specs the cancellation prevented from running
+// carry ctx's error in their Result, so Collect still fails loudly.
+func RunContext(ctx context.Context, specs []system.Spec, opt Options) []Result {
 	workers := opt.Workers
 	if workers < 1 {
 		workers = runtime.NumCPU()
@@ -68,26 +85,40 @@ func Run(specs []system.Spec, opt Options) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				t0 := time.Now()
-				res, err := specs[i].Execute()
-				results[i] = Result{Spec: specs[i], Res: res, Err: err, Wall: time.Since(t0)}
+				// A cancellation may race with a pending dispatch; drop the
+				// Spec here rather than burn a full run on a dead sweep.
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Spec: specs[i], Err: err}
+					continue
+				}
+				results[i] = RunOne(ctx, specs[i])
 				if opt.Progress != nil {
+					r := results[i]
 					mu.Lock()
 					done++
-					if err != nil {
+					if r.Err != nil {
 						fmt.Fprintf(opt.Progress, "[%d/%d] %s FAILED after %.1fs: %v\n",
-							done, len(specs), specs[i].Key(), time.Since(t0).Seconds(), err)
+							done, len(specs), specs[i].Key(), r.Wall.Seconds(), r.Err)
 					} else {
 						fmt.Fprintf(opt.Progress, "[%d/%d] %s in %.1fs (%d cycles)\n",
-							done, len(specs), specs[i].Key(), time.Since(t0).Seconds(), res.Cycles)
+							done, len(specs), specs[i].Key(), r.Wall.Seconds(), r.Res.Cycles)
 					}
 					mu.Unlock()
 				}
 			}
 		}()
 	}
+	canceled := false
 	for i := range specs {
-		idx <- i
+		if !canceled {
+			select {
+			case idx <- i:
+				continue
+			case <-ctx.Done():
+				canceled = true
+			}
+		}
+		results[i] = Result{Spec: specs[i], Err: ctx.Err()}
 	}
 	close(idx)
 	wg.Wait()

@@ -2,7 +2,10 @@ package runner
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/config"
@@ -123,5 +126,63 @@ func TestMatrixShape(t *testing.T) {
 			t.Fatalf("duplicate spec key %s", s.Key())
 		}
 		seen[s.Key()] = true
+	}
+}
+
+// cancelOnFirstWrite cancels a context the first time the progress stream
+// receives a line — i.e. right after the first run completes.
+type cancelOnFirstWrite struct {
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (c *cancelOnFirstWrite) Write(p []byte) (int, error) {
+	c.once.Do(c.cancel)
+	return len(p), nil
+}
+
+// TestRunContextCancellationStopsDispatch pins the service contract: once
+// the context dies (client disconnect, deadline), no further Spec is
+// executed; the un-run Specs carry the context error so Collect fails
+// loudly instead of returning a silently truncated sweep.
+func TestRunContextCancellationStopsDispatch(t *testing.T) {
+	specs := Matrix(workloads.Names(), AllSystems, workloads.Tiny, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	results := RunContext(ctx, specs, Options{
+		Workers:  1,
+		Progress: &cancelOnFirstWrite{cancel: cancel},
+	})
+
+	if results[0].Err != nil {
+		t.Fatalf("first run failed: %v", results[0].Err)
+	}
+	if results[0].Res.Cycles == 0 {
+		t.Fatal("first run produced no cycles")
+	}
+	// The single worker cancels the context while finishing run 0, so every
+	// later Spec must have been dropped, not executed.
+	for i := 1; i < len(results); i++ {
+		if !errors.Is(results[i].Err, context.Canceled) {
+			t.Fatalf("results[%d].Err = %v, want context.Canceled", i, results[i].Err)
+		}
+		if results[i].Res.Cycles != 0 {
+			t.Fatalf("results[%d] executed after cancellation", i)
+		}
+	}
+	if _, err := Collect(results); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Collect = %v, want the cancellation surfaced", err)
+	}
+}
+
+// TestRunContextPreCanceled: a dead context runs nothing at all.
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := RunContext(ctx, tinySpecs(), Options{Workers: 2})
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("results[%d].Err = %v, want context.Canceled", i, r.Err)
+		}
 	}
 }

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/system"
+)
+
+// Client is a thin typed wrapper over the daemon's HTTP API, shared by the
+// hybridsimd client mode, examples, and CI smoke tests.
+type Client struct {
+	// Base is the daemon root, e.g. "http://127.0.0.1:8080".
+	Base string
+
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string, q url.Values) string {
+	u := strings.TrimRight(c.Base, "/") + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return u
+}
+
+// apiError decodes the daemon's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("service: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("service: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, q url.Values, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path, q), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a submission and returns one record per run. With wait, the
+// call blocks until the daemon reports every run complete (or timeout, if
+// nonzero, expires — the returned records then carry pending statuses).
+func (c *Client) Submit(ctx context.Context, req SubmitRequest, wait bool, timeout time.Duration) ([]RunRecord, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	q := url.Values{}
+	if wait {
+		q.Set("wait", "true")
+	}
+	if timeout > 0 {
+		q.Set("timeout", timeout.String())
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/runs", q), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, apiError(resp)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, err
+	}
+	return sr.Runs, nil
+}
+
+// Run submits one Spec and waits for its Results — the one-call path a CLI
+// or test wants.
+func (c *Client) Run(ctx context.Context, spec system.Spec, timeout time.Duration) (RunRecord, error) {
+	runs, err := c.Submit(ctx, SubmitRequest{Spec: &spec}, true, timeout)
+	if err != nil {
+		return RunRecord{}, err
+	}
+	if len(runs) != 1 {
+		return RunRecord{}, fmt.Errorf("service: %d records for one spec", len(runs))
+	}
+	r := runs[0]
+	if r.Status == string(statusFailed) {
+		return r, fmt.Errorf("service: run %s failed: %s", r.Key, r.Error)
+	}
+	if r.Status != string(statusDone) {
+		return r, fmt.Errorf("service: run %s still %s", r.Key, r.Status)
+	}
+	return r, nil
+}
+
+// Get polls one run by key.
+func (c *Client) Get(ctx context.Context, key string) (RunRecord, error) {
+	var rec RunRecord
+	err := c.getJSON(ctx, "/v1/runs/"+key, nil, &rec)
+	return rec, err
+}
+
+// Wait polls key until the run reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, key string, poll time.Duration) (RunRecord, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		rec, err := c.Get(ctx, key)
+		if err != nil {
+			return rec, err
+		}
+		if rec.Status == string(statusDone) || rec.Status == string(statusFailed) {
+			return rec, nil
+		}
+		select {
+		case <-ctx.Done():
+			return rec, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Sweep streams a matrix run, invoking each for every per-run line as it
+// arrives, and returns the trailing summary.
+func (c *Client) Sweep(ctx context.Context, m Matrix, timeout time.Duration, each func(RunRecord) error) (SweepSummary, error) {
+	q := url.Values{}
+	if m.Scale != "" {
+		q.Set("scale", m.Scale)
+	}
+	if m.Cores > 0 {
+		q.Set("cores", strconv.Itoa(m.Cores))
+	}
+	if len(m.Benchmarks) > 0 {
+		q.Set("benchmarks", strings.Join(m.Benchmarks, ","))
+	}
+	if len(m.Systems) > 0 {
+		q.Set("systems", strings.Join(m.Systems, ","))
+	}
+	if timeout > 0 {
+		q.Set("timeout", timeout.String())
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/sweep", q), nil)
+	if err != nil {
+		return SweepSummary{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return SweepSummary{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return SweepSummary{}, apiError(resp)
+	}
+
+	// Each line is a RunRecord, except the last, which wraps the summary.
+	type sweepLine struct {
+		RunRecord
+		Summary *SweepSummary `json:"summary,omitempty"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var sum *SweepSummary
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var l sweepLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return SweepSummary{}, fmt.Errorf("service: bad sweep line %q: %w", line, err)
+		}
+		if l.Summary != nil {
+			sum = l.Summary
+			continue
+		}
+		if each != nil {
+			if err := each(l.RunRecord); err != nil {
+				return SweepSummary{}, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return SweepSummary{}, err
+	}
+	if sum == nil {
+		return SweepSummary{}, fmt.Errorf("service: sweep stream ended without a summary")
+	}
+	return *sum, nil
+}
+
+// Stats fetches the daemon counters.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var st StatsResponse
+	err := c.getJSON(ctx, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Healthz reports daemon liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := c.getJSON(ctx, "/v1/healthz", nil, &h); err != nil {
+		return err
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("service: health %q", h.Status)
+	}
+	return nil
+}

@@ -1,0 +1,693 @@
+// Package service exposes the Spec/runner core as a long-lived HTTP daemon
+// with a content-addressed result cache (internal/rescache) in front of it.
+//
+// The API is deliberately small:
+//
+//	POST /v1/runs            submit one Spec, a list, or a matrix enumeration
+//	                         (?wait=true blocks for results, ?timeout=30s
+//	                         bounds the submitted work)
+//	GET  /v1/runs/{key}      poll one run by its canonical Spec.Hash
+//	GET  /v1/sweep           run a figure's benchmark x system matrix and
+//	                         stream one JSON line per completed run
+//	GET  /v1/healthz         liveness plus queue depth
+//	GET  /v1/stats           cache hit rate, queue, and run counters
+//
+// Submissions flow through a bounded job queue drained by a fixed pool of
+// worker goroutines, each of which executes via rescache.GetOrRun — so a
+// Spec the daemon has seen before costs a map lookup, and N concurrent
+// requests for the same Spec cost one simulation. Sweep jobs are bound to
+// their request's context: a client disconnect cancels queued and in-flight
+// work (system.Machine.RunContext polls the context mid-run).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/rescache"
+	"repro/internal/runner"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the simulation worker-pool size; values < 1 mean one per
+	// host CPU. Each in-flight run costs one wired machine of memory.
+	Workers int
+
+	// QueueDepth bounds the job queue; values < 1 mean DefaultQueueDepth.
+	// A full queue rejects POST /v1/runs with 503 and backpressures
+	// streaming sweeps.
+	QueueDepth int
+
+	// Cache is the result store; nil means a fresh memory-only cache of
+	// DefaultCacheEntries specs.
+	Cache *rescache.Cache
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultQueueDepth   = 256
+	DefaultCacheEntries = 512
+)
+
+// MaxRequestBody bounds a submission body; a Spec list large enough to hit
+// this is a client bug, not a workload.
+const MaxRequestBody = 1 << 20
+
+// ErrQueueFull reports a bounded-queue rejection.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// Server owns the queue, the worker pool, and the run registry. Create it
+// with New, expose Handler over any http.Server, and Close it to stop the
+// workers and cancel everything in flight.
+type Server struct {
+	workers int
+	cache   *rescache.Cache
+	queue   chan *job
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	runs map[string]*job // async-submitted runs by Spec.Hash
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// New starts the worker pool and returns a ready Server.
+func New(opt Options) *Server {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	depth := opt.QueueDepth
+	if depth < 1 {
+		depth = DefaultQueueDepth
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache, _ = rescache.New(DefaultCacheEntries, "")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		workers: workers,
+		cache:   cache,
+		queue:   make(chan *job, depth),
+		baseCtx: ctx,
+		cancel:  cancel,
+		runs:    make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the workers and cancels every queued and in-flight run. Jobs
+// still sitting in the queue are finished with the cancellation error, so
+// no handler or client blocked on a job's completion can hang.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			j.finish(system.Results{}, false, 0, s.baseCtx.Err())
+			s.failed.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+// Cache exposes the result store (drivers share it with direct runs).
+func (s *Server) Cache() *rescache.Cache { return s.cache }
+
+// worker drains the queue until the server closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.execute(j)
+		}
+	}
+}
+
+// execute runs one job through the cache and publishes its outcome.
+func (s *Server) execute(j *job) {
+	// A job whose submitter vanished (sweep disconnect, deadline) is
+	// dropped here instead of burning a worker on a dead request.
+	if err := j.ctx.Err(); err != nil {
+		j.finish(system.Results{}, false, 0, err)
+		s.failed.Add(1)
+		return
+	}
+	var wall time.Duration
+	res, hit, err := s.cache.GetOrRun(j.ctx, j.spec, func(ctx context.Context) (system.Results, error) {
+		r := runner.RunOne(ctx, j.spec)
+		wall = r.Wall
+		return r.Res, r.Err
+	})
+	j.finish(res, hit, wall, err)
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+
+type jobStatus string
+
+const (
+	statusPending jobStatus = "pending"
+	statusRunning jobStatus = "running"
+	statusDone    jobStatus = "done"
+	statusFailed  jobStatus = "failed"
+)
+
+// job is one queued run. done closes exactly once, when the terminal state
+// (done/failed) is published.
+type job struct {
+	spec   system.Spec
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu     sync.Mutex
+	status jobStatus
+	res    system.Results
+	cached bool
+	wall   time.Duration
+	err    error
+}
+
+func newJob(ctx context.Context, cancel context.CancelFunc, spec system.Spec) *job {
+	return &job{
+		spec:   spec,
+		key:    spec.Hash(),
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		status: statusPending,
+	}
+}
+
+// doneJob synthesizes an already-completed job for a cache hit at submit
+// time — no queue round-trip, no worker.
+func doneJob(spec system.Spec, res system.Results) *job {
+	j := &job{
+		spec:   spec,
+		key:    spec.Hash(),
+		done:   make(chan struct{}),
+		status: statusDone,
+		res:    res,
+		cached: true,
+	}
+	close(j.done)
+	return j
+}
+
+func (j *job) finish(res system.Results, cached bool, wall time.Duration, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.status = statusFailed
+		j.err = err
+	} else {
+		j.status = statusDone
+		j.res = res
+		j.cached = cached
+	}
+	j.wall = wall
+	j.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+	}
+	close(j.done)
+}
+
+// record snapshots the job as its wire representation.
+func (j *job) record() RunRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r := RunRecord{
+		Key:    j.key,
+		Spec:   j.spec,
+		Status: string(j.status),
+		Cached: j.cached,
+		WallMS: float64(j.wall) / float64(time.Millisecond),
+		URL:    "/v1/runs/" + j.key,
+	}
+	if j.status == statusDone {
+		res := j.res
+		r.Results = &res
+	}
+	if j.err != nil {
+		r.Error = j.err.Error()
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+
+// SubmitRequest is the POST /v1/runs body: exactly one of Spec, Specs, or
+// Matrix.
+type SubmitRequest struct {
+	Spec   *system.Spec  `json:"spec,omitempty"`
+	Specs  []system.Spec `json:"specs,omitempty"`
+	Matrix *Matrix       `json:"matrix,omitempty"`
+}
+
+// Matrix enumerates a benchmark x memory-system sweep by name — the wire
+// form of runner.Matrix.
+type Matrix struct {
+	Benchmarks []string `json:"benchmarks,omitempty"` // default: all six
+	Systems    []string `json:"systems,omitempty"`    // cache|hybrid|ideal; default: all three
+	Scale      string   `json:"scale"`
+	Cores      int      `json:"cores,omitempty"`
+}
+
+// Specs expands the enumeration, validating every name before anything is
+// queued.
+func (m Matrix) Specs() ([]system.Spec, error) {
+	scale, err := workloads.ParseScale(m.Scale)
+	if err != nil {
+		return nil, err
+	}
+	benches := m.Benchmarks
+	if len(benches) == 0 {
+		benches = workloads.Names()
+	}
+	systems := runner.AllSystems
+	if len(m.Systems) != 0 {
+		systems = make([]config.MemorySystem, len(m.Systems))
+		for i, name := range m.Systems {
+			if systems[i], err = config.ParseMemorySystem(name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	specs := runner.Matrix(benches, systems, scale, m.Cores)
+	for _, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return specs, nil
+}
+
+// resolve returns the Specs a submission names.
+func (r SubmitRequest) resolve() ([]system.Spec, error) {
+	n := 0
+	if r.Spec != nil {
+		n++
+	}
+	if len(r.Specs) != 0 {
+		n++
+	}
+	if r.Matrix != nil {
+		n++
+	}
+	if n != 1 {
+		return nil, errors.New(`body must set exactly one of "spec", "specs", or "matrix"`)
+	}
+	switch {
+	case r.Spec != nil:
+		return []system.Spec{*r.Spec}, nil
+	case len(r.Specs) != 0:
+		return r.Specs, nil
+	default:
+		return r.Matrix.Specs()
+	}
+}
+
+// RunRecord is the wire form of one run's state. Results is present only
+// once Status is "done".
+type RunRecord struct {
+	Key     string          `json:"key"`
+	Spec    system.Spec     `json:"spec"`
+	Status  string          `json:"status"`
+	Cached  bool            `json:"cached,omitempty"`
+	WallMS  float64         `json:"wall_ms,omitempty"`
+	Results *system.Results `json:"results,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	URL     string          `json:"url,omitempty"`
+
+	// Index/Total position a record inside a streamed sweep.
+	Index int `json:"index,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// SubmitResponse answers POST /v1/runs.
+type SubmitResponse struct {
+	Runs []RunRecord `json:"runs"`
+}
+
+// SweepSummary is the trailing line of a /v1/sweep stream.
+type SweepSummary struct {
+	Runs   int            `json:"runs"`
+	Failed int            `json:"failed"`
+	WallMS float64        `json:"wall_ms"`
+	Cache  rescache.Stats `json:"cache"`
+}
+
+// StatsResponse answers GET /v1/stats.
+type StatsResponse struct {
+	Cache      rescache.Stats `json:"cache"`
+	QueueDepth int            `json:"queue_depth"`
+	QueueCap   int            `json:"queue_cap"`
+	Workers    int            `json:"workers"`
+	Submitted  uint64         `json:"submitted"`
+	Completed  uint64         `json:"completed"`
+	Failed     uint64         `json:"failed"`
+	Rejected   uint64         `json:"rejected"`
+}
+
+// ---------------------------------------------------------------------------
+// HTTP surface
+
+// Handler returns the versioned API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{key}", s.handleGetRun)
+	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// queryTimeout parses ?timeout=30s; zero means none.
+func queryTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q", raw)
+	}
+	return d, nil
+}
+
+// submit registers (or joins) the async job for spec. Completed results
+// short-circuit to a synthetic done job; a pending job for the same hash is
+// shared, so re-POSTing a slow Spec does not duplicate work or queue slots.
+func (s *Server) submit(spec system.Spec, timeout time.Duration) (*job, error) {
+	if res, ok := s.cache.Get(spec); ok {
+		return doneJob(spec, res), nil
+	}
+	s.mu.Lock()
+	if j, ok := s.runs[spec.Hash()]; ok {
+		j.mu.Lock()
+		pending := j.status == statusPending || j.status == statusRunning
+		j.mu.Unlock()
+		if pending {
+			s.mu.Unlock()
+			return j, nil
+		}
+	}
+	s.gcRunsLocked()
+	// Async jobs outlive their submitting request, so they hang off the
+	// server's context; the optional timeout is the only per-job bound.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	j := newJob(ctx, cancel, spec)
+	s.runs[j.key] = j
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		s.submitted.Add(1)
+		return j, nil
+	default:
+		s.mu.Lock()
+		delete(s.runs, j.key)
+		s.mu.Unlock()
+		cancel()
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// runsGCThreshold bounds the async-run registry: past it, terminal jobs are
+// swept out (their Results stay reachable through the cache).
+const runsGCThreshold = 4096
+
+// gcRunsLocked evicts finished jobs once the registry outgrows the
+// threshold. Caller holds s.mu.
+func (s *Server) gcRunsLocked() {
+	if len(s.runs) <= runsGCThreshold {
+		return
+	}
+	for k, j := range s.runs {
+		j.mu.Lock()
+		terminal := j.status == statusDone || j.status == statusFailed
+		j.mu.Unlock()
+		if terminal {
+			delete(s.runs, k)
+		}
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	timeout, err := queryTimeout(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody))
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specs, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs := make([]*job, 0, len(specs))
+	for _, sp := range specs {
+		j, err := s.submit(sp, timeout)
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		jobs = append(jobs, j)
+	}
+
+	wait, _ := strconv.ParseBool(r.URL.Query().Get("wait"))
+	code := http.StatusAccepted
+	if wait {
+		// Block on the submitted work, bounded by the client's own
+		// connection and the optional timeout. Expiry degrades to the
+		// async answer (202 + poll URLs), it does not fail the jobs.
+		waitCtx := r.Context()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			waitCtx, cancel = context.WithTimeout(waitCtx, timeout)
+			defer cancel()
+		}
+		code = http.StatusOK
+		for _, j := range jobs {
+			select {
+			case <-j.done:
+			case <-waitCtx.Done():
+				code = http.StatusAccepted
+			}
+			if code == http.StatusAccepted {
+				break
+			}
+		}
+	}
+	resp := SubmitResponse{Runs: make([]RunRecord, len(jobs))}
+	for i, j := range jobs {
+		resp.Runs[i] = j.record()
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	s.mu.Lock()
+	j, ok := s.runs[key]
+	s.mu.Unlock()
+	if ok {
+		writeJSON(w, http.StatusOK, j.record())
+		return
+	}
+	// Runs that arrived via a sweep (or a previous process, through the
+	// disk tier) live only in the cache.
+	if e, ok := s.cache.EntryKey(key); ok {
+		writeJSON(w, http.StatusOK, doneJob(e.Spec, e.Res).record())
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", key))
+}
+
+// handleSweep enumerates a matrix from query parameters, queues every run
+// bound to the request context, and streams one JSON line per run in input
+// order as results land, then a summary line. Disconnecting cancels all
+// remaining work.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	timeout, err := queryTimeout(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m := Matrix{Scale: q.Get("scale")}
+	if m.Scale == "" {
+		m.Scale = "small"
+	}
+	if v := q.Get("benchmarks"); v != "" {
+		m.Benchmarks = strings.Split(v, ",")
+	}
+	if v := q.Get("systems"); v != "" {
+		m.Systems = strings.Split(v, ",")
+	}
+	if v := q.Get("cores"); v != "" {
+		if m.Cores, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad cores %q", v))
+			return
+		}
+	}
+	specs, err := m.Specs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Enqueue from a goroutine so a full queue backpressures the producer
+	// while the handler keeps streaming completed lines.
+	jobs := make(chan *job, len(specs))
+	go func() {
+		defer close(jobs)
+		for _, sp := range specs {
+			if res, ok := s.cache.Get(sp); ok {
+				jobs <- doneJob(sp, res)
+				continue
+			}
+			j := newJob(ctx, nil, sp)
+			select {
+			case s.queue <- j:
+				s.submitted.Add(1)
+				jobs <- j
+			case <-ctx.Done():
+				j.finish(system.Results{}, false, 0, ctx.Err())
+				jobs <- j
+			}
+		}
+	}()
+
+	t0 := time.Now()
+	sum := SweepSummary{Runs: len(specs)}
+	i := 0
+	for j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			// The client is gone (or the deadline passed): every queued
+			// job shares ctx and will be dropped by the workers; stop
+			// streaming.
+			<-j.done
+		}
+		rec := j.record()
+		rec.Index = i
+		rec.Total = len(specs)
+		if rec.Status != string(statusDone) {
+			sum.Failed++
+		}
+		if err := enc.Encode(rec); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		i++
+	}
+	sum.WallMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	sum.Cache = s.cache.Stats()
+	enc.Encode(struct {
+		Summary SweepSummary `json:"summary"`
+	}{sum})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": len(s.queue),
+		"queue_cap":   cap(s.queue),
+		"workers":     s.workers,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Cache:      s.cache.Stats(),
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+		Workers:    s.workers,
+		Submitted:  s.submitted.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Rejected:   s.rejected.Load(),
+	})
+}

@@ -1,6 +1,11 @@
 package system
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/config"
@@ -43,24 +48,92 @@ func (s Spec) seed() uint64 {
 	return DefaultSeed
 }
 
+// cores resolves the effective core count (0 means the Table 1 default).
+func (s Spec) cores() int {
+	if s.Cores > 0 {
+		return s.Cores
+	}
+	return config.ForSystem(s.System).Cores
+}
+
+// filterEntries resolves the effective filter capacity (0 = Table 1).
+func (s Spec) filterEntries() int {
+	if s.FilterEntries > 0 {
+		return s.FilterEntries
+	}
+	return config.ForSystem(s.System).FilterEntries
+}
+
 // Key is a stable, human-readable identity for the run — usable as a map
 // key, a cache filename, or a progress label. Two Specs with equal Keys
-// produce byte-identical Results.
+// produce byte-identical Results; equivalent Specs (a zero field vs its
+// explicit default — seed, cores, filter size) share one Key.
 func (s Spec) Key() string {
 	k := fmt.Sprintf("%s/%s/%s", s.Benchmark, s.System, s.Scale)
-	if s.Cores > 0 {
+	def := config.ForSystem(s.System)
+	if s.Cores > 0 && s.Cores != def.Cores {
 		k += fmt.Sprintf("/c%d", s.Cores)
 	}
-	if s.FilterEntries > 0 {
+	if s.FilterEntries > 0 && s.FilterEntries != def.FilterEntries {
 		k += fmt.Sprintf("/f%d", s.FilterEntries)
 	}
-	if s.Seed != 0 {
-		k += fmt.Sprintf("/s%x", s.Seed)
+	if s.seed() != DefaultSeed {
+		k += fmt.Sprintf("/s%x", s.seed())
 	}
 	if s.MaxEvents != 0 {
 		k += fmt.Sprintf("/e%d", s.MaxEvents)
 	}
 	return k
+}
+
+// Hash is the canonical content address of the run: the SHA-256 (hex) of a
+// normalized fixed-order encoding of every result-affecting field, with
+// defaultable fields (seed, cores, filter size) resolved so equivalent
+// Specs collapse to one digest. DESIGN.md §8 documents the encoding; it is
+// versioned, so any change to the field set bumps the prefix and old cache
+// entries simply miss.
+func (s Spec) Hash() string {
+	enc := fmt.Sprintf(
+		"hybridsim-spec-v1\nsystem=%s\nbenchmark=%s\nscale=%s\ncores=%d\nseed=%x\nfilter=%d\nmaxevents=%d\n",
+		s.System, s.Benchmark, s.Scale, s.cores(), s.seed(), s.filterEntries(), s.MaxEvents)
+	sum := sha256.Sum256([]byte(enc))
+	return hex.EncodeToString(sum[:])
+}
+
+// specJSON is the wire form of a Spec. Field set and order mirror Spec
+// exactly so conversion is a plain type cast.
+type specJSON struct {
+	System        config.MemorySystem `json:"system"`
+	Benchmark     string              `json:"benchmark"`
+	Scale         workloads.Scale     `json:"scale"`
+	Cores         int                 `json:"cores,omitempty"`
+	Seed          uint64              `json:"seed,omitempty"`
+	FilterEntries int                 `json:"filter_entries,omitempty"`
+	MaxEvents     uint64              `json:"max_events,omitempty"`
+}
+
+// MarshalJSON encodes the Spec losslessly with the memory system and scale
+// by name, so specs survive service requests and disk cache entries intact.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(specJSON(s))
+}
+
+// UnmarshalJSON decodes what MarshalJSON produces, rejecting unknown fields
+// and validating the Spec (unknown benchmarks, unbuildable machines) at
+// decode time — a service must fail a bad request before queueing it.
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var sj specJSON
+	if err := dec.Decode(&sj); err != nil {
+		return fmt.Errorf("system: bad spec: %w", err)
+	}
+	decoded := Spec(sj)
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*s = decoded
+	return nil
 }
 
 // Config materializes the machine configuration the Spec describes.
@@ -77,6 +150,15 @@ func (s Spec) Config() config.Config {
 
 // Validate reports whether the Spec names a buildable run.
 func (s Spec) Validate() error {
+	// Negative overrides would be ignored by Config (which treats <= 0 as
+	// "default") yet still perturb the canonical Hash — reject them before
+	// they can mint a bogus cache identity.
+	if s.Cores < 0 {
+		return fmt.Errorf("system: negative core count %d", s.Cores)
+	}
+	if s.FilterEntries < 0 {
+		return fmt.Errorf("system: negative filter size %d", s.FilterEntries)
+	}
 	for _, n := range workloads.Names() {
 		if n == s.Benchmark {
 			return s.Config().Validate()
@@ -89,6 +171,13 @@ func (s Spec) Validate() error {
 // the measurements. Each call wires a fresh single-threaded engine, so
 // concurrent Executes of different Specs are independent and race-free.
 func (s Spec) Execute() (Results, error) {
+	return s.ExecuteContext(context.Background())
+}
+
+// ExecuteContext is Execute with cooperative cancellation: the engine polls
+// ctx between event batches, so client disconnects and per-request deadlines
+// stop a simulation mid-run instead of burning the rest of it.
+func (s Spec) ExecuteContext(ctx context.Context) (Results, error) {
 	if err := s.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -96,5 +185,5 @@ func (s Spec) Execute() (Results, error) {
 	if err != nil {
 		return Results{}, err
 	}
-	return m.Run(s.MaxEvents)
+	return m.RunContext(ctx, s.MaxEvents)
 }

@@ -4,6 +4,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coherence"
@@ -236,10 +237,30 @@ type Results struct {
 // Run executes the benchmark to completion. maxEvents bounds the run (0
 // means no bound); exceeding it or deadlocking returns an error.
 func (m *Machine) Run(maxEvents uint64) (Results, error) {
+	return m.RunContext(context.Background(), maxEvents)
+}
+
+// ctxPollEvents is how many events may fire between context checks in
+// RunContext: rare enough that the atomic load inside ctx.Err never shows up
+// in profiles, frequent enough that cancellation lands within microseconds.
+const ctxPollEvents = 1 << 12
+
+// RunContext is Run with cooperative cancellation: ctx is polled every
+// ctxPollEvents fired events, so a canceled context (client disconnect,
+// request deadline, daemon shutdown) stops the simulation mid-run.
+func (m *Machine) RunContext(ctx context.Context, maxEvents uint64) (Results, error) {
 	m.Cluster.Start()
+	next := uint64(ctxPollEvents)
 	for m.Eng.Step() {
-		if maxEvents > 0 && m.Eng.Fired() > maxEvents {
+		fired := m.Eng.Fired()
+		if maxEvents > 0 && fired > maxEvents {
 			return Results{}, fmt.Errorf("system: event budget %d exceeded at cycle %d", maxEvents, m.Eng.Now())
+		}
+		if fired >= next {
+			next = fired + ctxPollEvents
+			if err := ctx.Err(); err != nil {
+				return Results{}, fmt.Errorf("system: run canceled at cycle %d: %w", m.Eng.Now(), err)
+			}
 		}
 	}
 	if !m.Cluster.AllDone() {

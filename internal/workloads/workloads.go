@@ -9,6 +9,7 @@
 package workloads
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/compiler"
@@ -58,6 +59,26 @@ func ParseScale(name string) (Scale, error) {
 	default:
 		return 0, fmt.Errorf("workloads: unknown scale %q (want tiny or small)", name)
 	}
+}
+
+// MarshalJSON encodes the scale by its stable name, keeping spec JSON
+// readable and robust against enum reordering.
+func (s Scale) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the names MarshalJSON produces.
+func (s *Scale) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	sc, err := ParseScale(name)
+	if err != nil {
+		return err
+	}
+	*s = sc
+	return nil
 }
 
 // Names lists the benchmarks in the paper's order.

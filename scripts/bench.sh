@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and write a machine-readable artifact.
+#
+# Runs `go test -bench . -run ^$` at the repo root and converts the output
+# into BENCH_<date>.json, one object per benchmark with every reported
+# metric (ns/op, B/op, allocs/op, and the custom per-figure metrics such as
+# cycles and speedup-x), so successive commits leave a diffable perf
+# trajectory.
+#
+# Usage:
+#   scripts/bench.sh                 # quick pass (1 iteration per benchmark)
+#   BENCHTIME=3x scripts/bench.sh    # heavier pass
+#   OUT=perf/BENCH_ci.json scripts/bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+out="${OUT:-BENCH_$(date -u +%F).json}"
+raw="$(go test -bench . -benchmem -run '^$' -benchtime "$benchtime" .)"
+
+printf '%s\n' "$raw" | awk \
+  -v date="$(date -u +%FT%TZ)" \
+  -v gover="$(go version | tr -d '\n')" \
+  -v benchtime="$benchtime" '
+BEGIN {
+  printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, gover, benchtime
+  n = 0
+}
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+  if (n++) printf ","
+  printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, $2
+  for (i = 3; i + 1 <= NF; i += 2)
+    printf ", \"%s\": %s", $(i + 1), $i
+  printf "}"
+}
+END {
+  printf "\n  ]\n}\n"
+}' > "$out"
+
+echo "wrote $out" >&2

@@ -11,6 +11,8 @@
 //	experiments                 # everything, 64 cores, small scale
 //	experiments -only fig9      # one exhibit
 //	experiments -cores 16 -scale tiny -workers 8   # quick parallel pass
+//	experiments -set mem_latency=200               # every exhibit, slower DRAM
+//	experiments -sweep l1d_size=16384,32768,65536  # custom axis sweep (CSV)
 package main
 
 import (
@@ -33,6 +35,51 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
+// runCustomSweep expands -sweep axes over every benchmark on the hybrid
+// system and prints the per-knob-column CSV — design-space exploration
+// beyond the paper's fixed exhibits.
+func runCustomSweep(ctx context.Context, cores int, scale workloads.Scale,
+	base config.Overrides, sweeps []string, opt runner.Options, outPath, outFormat string) {
+	axes, err := runner.ParseKnobAxes(sweeps)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	specs, err := runner.Axes{
+		Systems: []config.MemorySystem{config.HybridReal},
+		Scale:   scale,
+		Cores:   cores,
+		Base:    base,
+		Knobs:   axes,
+	}.Specs()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	results, err := runner.Collect(runner.RunContext(ctx, specs, opt))
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+	if err := report.SweepCSV(os.Stdout, specs, results); err != nil {
+		fatalf("%v", err)
+	}
+	if outPath == "" {
+		return
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		fatalf("cannot write %s: %v", outPath, err)
+	}
+	defer f.Close()
+	if outFormat == "json" {
+		err = report.SweepJSON(f, specs, results)
+	} else {
+		err = report.SweepCSV(f, specs, results)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+}
+
 func main() {
 	cores := flag.Int("cores", 64, "core count")
 	scaleName := flag.String("scale", "small", "workload scale: tiny, small")
@@ -41,6 +88,9 @@ func main() {
 	format := flag.String("format", "", "output format for -out: csv, json or jsonl (default: from the file extension)")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per host CPU)")
 	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this much wall-clock (0 = unlimited)")
+	var sets, sweeps runner.MultiFlag
+	flag.Var(&sets, "set", "override one machine knob on every run, name=value (repeatable; cores=N wins over -cores)")
+	flag.Var(&sweeps, "sweep", "run ONLY a custom knob sweep over the benchmarks on the hybrid system, name=v1,v2,... (repeatable; prints a per-knob CSV and honors -out csv/json)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -54,6 +104,11 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	overrides, err := config.ParseOverrides(sets)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opt := runner.Options{Workers: *workers, Progress: os.Stderr}
 	outFormat := ""
 	if *outPath != "" {
 		outFormat = sinkFormat(*format, *outPath)
@@ -66,10 +121,24 @@ func main() {
 			fatalf("unknown format %q (want one of %v)", outFormat, report.Formats())
 		}
 	}
+	if len(sweeps) > 0 {
+		if *only != "" && *only != "sweep" {
+			fatalf("-sweep runs its own exhibit and cannot combine with -only %q", *only)
+		}
+		if outFormat == "jsonl" {
+			fatalf("-sweep supports csv and json sinks, not jsonl")
+		}
+		runCustomSweep(ctx, *cores, scale, overrides, sweeps, opt, *outPath, outFormat)
+		return
+	}
 	want := func(name string) bool { return *only == "" || *only == name }
 
 	if want("table1") {
-		report.Table1(os.Stdout, config.Default())
+		// Materialize through Spec.Config so the printed machine matches
+		// what the exhibit runs below actually simulate.
+		report.Table1(os.Stdout, system.Spec{
+			System: config.HybridReal, Overrides: overrides, Cores: runner.CoresFlag(overrides, *cores),
+		}.Config())
 		fmt.Println()
 	}
 	if want("table2") {
@@ -92,12 +161,20 @@ func main() {
 		return
 	}
 
-	opt := runner.Options{Workers: *workers, Progress: os.Stderr}
 	var all []system.Results
 
 	if needsRuns {
 		names := workloads.Names()
-		specs := runner.Matrix(names, runner.AllSystems, scale, *cores)
+		specs, err := runner.Axes{
+			Benchmarks: names,
+			Systems:    runner.AllSystems,
+			Scale:      scale,
+			Cores:      *cores,
+			Base:       overrides,
+		}.Specs()
+		if err != nil {
+			fatalf("%v", err)
+		}
 		all, err = runner.Collect(runner.RunContext(ctx, specs, opt))
 		if err != nil {
 			fatalf("%v", err)
@@ -139,7 +216,7 @@ func main() {
 	}
 
 	if want("ablation") {
-		runAblation(ctx, *cores, scale, opt)
+		runAblation(ctx, *cores, scale, overrides, opt)
 	}
 
 	if *outPath != "" && len(all) > 0 {
@@ -171,18 +248,20 @@ func sinkFormat(format, path string) string {
 }
 
 // runAblation sweeps the filter size on IS (the most filter-sensitive
-// benchmark) — the design-choice study DESIGN.md calls Ablation A.
-func runAblation(ctx context.Context, cores int, scale workloads.Scale, opt runner.Options) {
+// benchmark) — the design-choice study DESIGN.md calls Ablation A. It is
+// the fixed-axis special case of the -sweep machinery.
+func runAblation(ctx context.Context, cores int, scale workloads.Scale, base config.Overrides, opt runner.Options) {
 	sizes := []int{8, 16, 32, 48, 64}
-	specs := make([]system.Spec, len(sizes))
-	for i, entries := range sizes {
-		specs[i] = system.Spec{
-			System:        config.HybridReal,
-			Benchmark:     "IS",
-			Scale:         scale,
-			Cores:         cores,
-			FilterEntries: entries,
-		}
+	specs, err := runner.Axes{
+		Benchmarks: []string{"IS"},
+		Systems:    []config.MemorySystem{config.HybridReal},
+		Scale:      scale,
+		Cores:      cores,
+		Base:       base,
+		Knobs:      []runner.KnobAxis{{Name: "filter_entries", Values: sizes}},
+	}.Specs()
+	if err != nil {
+		fatalf("ablation: %v", err)
 	}
 	results, err := runner.Collect(runner.RunContext(ctx, specs, opt))
 	if err != nil {

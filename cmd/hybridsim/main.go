@@ -4,9 +4,14 @@
 // Usage:
 //
 //	hybridsim -bench CG -system hybrid -cores 64 -scale small
+//	hybridsim -bench CG -system hybrid -set l1d_size=65536 -set mem_latency=200
+//	hybridsim -bench IS -system hybrid -sweep filter_entries=16,32,48,64 -csv
 //
 // Systems: cache (baseline, 64KB L1D), hybrid (SPMs + the paper's coherence
-// protocol), ideal (SPMs + oracle coherence).
+// protocol), ideal (SPMs + oracle coherence). Every machine knob of
+// config.Config can be overridden by name with -set (see config.Knobs);
+// repeatable -sweep flags turn the invocation into an axis sweep printed as
+// a per-knob-column CSV.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/noc"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/system"
 	"repro/internal/workloads"
 )
@@ -32,6 +38,11 @@ func main() {
 	csv := flag.Bool("csv", false, "emit results as CSV")
 	maxEvents := flag.Uint64("max-events", 0, "abort after this many simulation events (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this much wall-clock (0 = unlimited)")
+	listKnobs := flag.Bool("knobs", false, "list every -set/-sweep machine knob with its default and exit")
+	var sets, sweeps runner.MultiFlag
+	flag.Var(&sets, "set", "override one machine knob, name=value (repeatable; cores=N wins over -cores)")
+	flag.Var(&sweeps, "sweep", "sweep one machine knob, name=v1,v2,... (repeatable; prints a per-knob CSV)")
+	workers := flag.Int("workers", 0, "parallel simulations for -sweep (0 = one per host CPU)")
 	flag.Parse()
 
 	sys, err := config.ParseMemorySystem(*sysName)
@@ -40,8 +51,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *listKnobs {
+		def := config.ForSystem(sys)
+		fmt.Printf("%-22s %s\n", "knob", "default ("+sys.String()+")")
+		for _, k := range config.Knobs() {
+			fmt.Printf("%-22s %d\n", k.Name, *k.Field(&def))
+		}
+		return
+	}
+
 	if *showConfig {
-		report.Table1(os.Stdout, config.ForSystem(sys))
+		ov, err := config.ParseOverrides(sets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Materialize through Spec.Config so the printed machine carries the
+		// same derived adjustments (mesh re-dimensioning, controller cap) a
+		// real run with these flags would get.
+		spec := system.Spec{System: sys, Overrides: ov, Cores: runner.CoresFlag(ov, *cores)}
+		report.Table1(os.Stdout, spec.Config())
 		return
 	}
 
@@ -50,19 +79,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	spec := system.Spec{
-		System:    sys,
-		Benchmark: *benchName,
-		Scale:     scale,
-		Cores:     *cores,
-		MaxEvents: *maxEvents,
+	overrides, err := config.ParseOverrides(sets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	*cores = runner.CoresFlag(overrides, *cores)
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if len(sweeps) > 0 {
+		runSweep(ctx, sys, *benchName, scale, *cores, *maxEvents, overrides, sweeps, *workers)
+		return
+	}
+
+	spec := system.Spec{
+		System:    sys,
+		Benchmark: *benchName,
+		Scale:     scale,
+		Overrides: overrides,
+		Cores:     *cores,
+		MaxEvents: *maxEvents,
 	}
 	r, err := spec.ExecuteContext(ctx)
 	if err != nil {
@@ -75,7 +117,14 @@ func main() {
 		return
 	}
 
-	fmt.Printf("%s on %s (%d cores, %s scale)\n", r.Benchmark, r.System, *cores, scale)
+	fmt.Printf("%s on %s (%d cores, %s scale)\n", r.Benchmark, r.System, spec.Config().Cores, scale)
+	if diff := spec.KnobDiff(); len(diff) > 0 {
+		fmt.Print("  overrides       ")
+		for _, kv := range diff {
+			fmt.Printf(" %s=%d", kv.Name, kv.Value)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("  cycles           %d\n", r.Cycles)
 	fmt.Printf("  phase cycles     control=%d sync=%d work=%d\n",
 		r.PhaseCycles[isa.PhaseControl], r.PhaseCycles[isa.PhaseSync], r.PhaseCycles[isa.PhaseWork])
@@ -97,5 +146,38 @@ func main() {
 	}
 	if sys != config.CacheBased {
 		fmt.Printf("  DMA line xfers   %d\n", r.DMALineTransfers)
+	}
+}
+
+// runSweep expands -sweep axes over the selected benchmark and system and
+// prints the per-knob-column CSV (report.SweepCSV).
+func runSweep(ctx context.Context, sys config.MemorySystem, bench string, scale workloads.Scale,
+	cores int, maxEvents uint64, base config.Overrides, sweeps []string, workers int) {
+	axes, err := runner.ParseKnobAxes(sweeps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	specs, err := runner.Axes{
+		Benchmarks: []string{bench},
+		Systems:    []config.MemorySystem{sys},
+		Scale:      scale,
+		Cores:      cores,
+		MaxEvents:  maxEvents,
+		Base:       base,
+		Knobs:      axes,
+	}.Specs()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	results, err := runner.Collect(runner.RunContext(ctx, specs, runner.Options{Workers: workers, Progress: os.Stderr}))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep failed: %v\n", err)
+		os.Exit(1)
+	}
+	if err := report.SweepCSV(os.Stdout, specs, results); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

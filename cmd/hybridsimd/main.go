@@ -10,7 +10,9 @@
 // shell pipelines:
 //
 //	hybridsimd -client http://127.0.0.1:8080 -bench CG -system hybrid -scale tiny -cores 4
+//	hybridsimd -client http://127.0.0.1:8080 -bench CG -set l1d_size=65536
 //	hybridsimd -client http://127.0.0.1:8080 -sweep -scale tiny -cores 4
+//	hybridsimd -client http://127.0.0.1:8080 -sweep=filter_entries=16,32,48 -scale tiny -cores 4
 //	hybridsimd -client http://127.0.0.1:8080 -stats
 package main
 
@@ -27,6 +29,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/rescache"
+	"repro/internal/runner"
 	"repro/internal/service"
 	"repro/internal/system"
 	"repro/internal/workloads"
@@ -51,16 +54,53 @@ func main() {
 	sysName := flag.String("system", "hybrid", "client mode: machine (cache, hybrid, ideal)")
 	scaleName := flag.String("scale", "tiny", "client mode: workload scale")
 	cores := flag.Int("cores", 4, "client mode: core count (0 = Table 1 default)")
-	sweep := flag.Bool("sweep", false, "client mode: stream the full benchmark x system matrix instead of one run")
+	var sweep sweepFlag
+	flag.Var(&sweep, "sweep", "client mode: stream the benchmark x system matrix instead of one run; -sweep=knob=v1,v2,... also sweeps a machine knob (repeatable)")
 	stats := flag.Bool("stats", false, "client mode: print daemon stats and exit")
 	timeout := flag.Duration("timeout", 0, "client mode: per-request deadline forwarded to the daemon (0 = none)")
+	var sets runner.MultiFlag
+	flag.Var(&sets, "set", "client mode: override one machine knob, name=value (repeatable; cores=N wins over -cores)")
 	flag.Parse()
+	if flag.NArg() != 0 {
+		// -sweep is a bool-style flag, so a space-separated payload
+		// ("-sweep knob=v1,v2") would land here as a positional argument and
+		// silently drop it plus every flag after it. Fail loudly instead.
+		fatalf("unexpected arguments %q (axis payloads need the -sweep=knob=v1,v2,... form)", flag.Args())
+	}
 
 	if *client != "" {
-		runClient(*client, *benchName, *sysName, *scaleName, *cores, *sweep, *stats, *timeout)
+		// A sweep defaults to the full benchmark x system matrix; flags the
+		// user explicitly passed narrow it.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		runClient(*client, *benchName, *sysName, *scaleName, *cores, sweep, *stats, *timeout, sets, explicit)
 		return
 	}
 	serve(*addr, *workers, *queue, *cacheEntries, *cacheDir)
+}
+
+// sweepFlag keeps the historical bare "-sweep" boolean (stream the full
+// matrix) while also accepting repeatable "-sweep=knob=v1,v2,..." axis
+// payloads — the flag package routes both here because IsBoolFlag is true.
+type sweepFlag struct {
+	enabled bool
+	axes    runner.MultiFlag
+}
+
+func (f *sweepFlag) String() string   { return fmt.Sprint(f.axes) }
+func (f *sweepFlag) IsBoolFlag() bool { return true }
+func (f *sweepFlag) Set(s string) error {
+	switch s {
+	case "true":
+		f.enabled = true
+	case "false":
+		f.enabled = false
+		f.axes = nil
+	default:
+		f.enabled = true
+		f.axes = append(f.axes, s)
+	}
+	return nil
 }
 
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully.
@@ -94,11 +134,16 @@ func serve(addr string, workers, queue, cacheEntries int, cacheDir string) {
 }
 
 // runClient executes one client-mode action against a running daemon.
-func runClient(base, benchName, sysName, scaleName string, cores int, sweep, stats bool, timeout time.Duration) {
+// explicit records which flags the user actually passed (flag.Visit).
+func runClient(base, benchName, sysName, scaleName string, cores int, sweep sweepFlag, stats bool, timeout time.Duration, sets []string, explicit map[string]bool) {
 	c := &service.Client{Base: base}
 	ctx := context.Background()
 	if err := c.Healthz(ctx); err != nil {
 		fatalf("daemon not healthy: %v", err)
+	}
+	overrides, err := config.ParseOverrides(sets)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	switch {
@@ -119,8 +164,22 @@ func runClient(base, benchName, sysName, scaleName string, cores int, sweep, sta
 		fmt.Printf("runs:  submitted=%d completed=%d failed=%d rejected=%d\n",
 			st.Submitted, st.Completed, st.Failed, st.Rejected)
 
-	case sweep:
-		sum, err := c.Sweep(ctx, service.Matrix{Scale: scaleName, Cores: cores}, timeout,
+	case sweep.enabled:
+		axes, err := runner.ParseKnobAxes(sweep.axes)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		m := service.Matrix{Scale: scaleName, Cores: cores, Sweep: axes}
+		if explicit["bench"] {
+			m.Benchmarks = []string{benchName}
+		}
+		if explicit["system"] {
+			m.Systems = []string{sysName}
+		}
+		if !overrides.IsZero() {
+			m.Overrides = &overrides
+		}
+		sum, err := c.Sweep(ctx, m, timeout,
 			func(rec service.RunRecord) error {
 				if rec.Status != "done" || rec.Results == nil {
 					fmt.Printf("[%d/%d] %s %s: %s\n", rec.Index+1, rec.Total, rec.Spec.Key(), rec.Status, rec.Error)
@@ -148,7 +207,8 @@ func runClient(base, benchName, sysName, scaleName string, cores int, sweep, sta
 		if err != nil {
 			fatalf("%v", err)
 		}
-		spec := system.Spec{System: sys, Benchmark: benchName, Scale: scale, Cores: cores}
+		spec := system.Spec{System: sys, Benchmark: benchName, Scale: scale,
+			Cores: runner.CoresFlag(overrides, cores), Overrides: overrides}
 		rec, err := c.Run(ctx, spec, timeout)
 		if err != nil {
 			fatalf("%v", err)

@@ -11,13 +11,19 @@
 //
 //	go run ./cmd/experiments -scale tiny -workers 8
 //
-// Sweeps are declarative: a run is a system.Spec value, and internal/runner
-// fans a []Spec across a worker pool with byte-identical output for any
-// worker count:
+// Sweeps are declarative: a run is a system.Spec value — including a typed
+// config.Overrides that can retarget any machine knob by name (the
+// config.Knobs registry) — and internal/runner fans a []Spec across a
+// worker pool with byte-identical output for any worker count. runner.Axes
+// enumerates benchmark x system x knob-axis cross products; every CLI
+// spells it as repeatable -set name=value / -sweep name=v1,v2,... flags:
 //
-//	specs := runner.Matrix(workloads.Names(), runner.AllSystems, workloads.Small, 0)
+//	specs, err := runner.Axes{
+//		Scale: workloads.Small,
+//		Knobs: []runner.KnobAxis{{Name: "l1d_size", Values: []int{16384, 32768}}},
+//	}.Specs()
 //	results, err := runner.Collect(runner.Run(specs, runner.Options{Workers: 8}))
-//	report.CSV(os.Stdout, results)
+//	report.SweepCSV(os.Stdout, specs, results) // one column per swept knob
 //
 // Because a run is a pure function of its Spec, results memoize safely:
 // cmd/hybridsimd serves the same core over HTTP behind a content-addressed

@@ -1,14 +1,23 @@
-// Sweep: the filter-size ablation (DESIGN.md Ablation A). The per-core
-// filter caches "not mapped to any SPM" verdicts; its size trades CAM energy
-// against FilterDir round-trips. IS — the benchmark with the weakest guarded
-// locality — is the most sensitive, exactly as the paper's Fig. 8 suggests.
+// Sweep: axis-based design-space exploration over the machine parameter
+// space. The default run is the filter-size ablation (DESIGN.md Ablation
+// A): the per-core filter caches "not mapped to any SPM" verdicts, and IS —
+// the benchmark with the weakest guarded locality — is the most sensitive
+// to its size, exactly as the paper's Fig. 8 suggests.
+//
+// Any registry knob (config.Knobs) can be swept instead: repeatable -sweep
+// flags build the cross product and the results print as a per-knob-column
+// CSV (report.SweepCSV), one column per swept axis — self-describing
+// tables, no opaque key strings. -set fixes additional knobs on every run.
 //
 // Each sweep point is one declarative system.Spec. By default the runner
-// fans them out across local worker goroutines; with -daemon the same Specs
-// are submitted to a running hybridsimd instead, so a repeated sweep is
-// answered from the daemon's content-addressed result cache:
+// fans them out across local worker goroutines (output is byte-identical
+// for any -workers N); with -daemon the same Specs are submitted to a
+// running hybridsimd instead, so a repeated sweep is answered from the
+// daemon's content-addressed result cache:
 //
 //	go run ./examples/sweep -workers 8
+//	go run ./examples/sweep -sweep filter_entries=16,32,48,64
+//	go run ./examples/sweep -sweep l1d_size=16384,32768 -sweep prefetch_degree=1,2,4
 //	go run ./cmd/hybridsimd &
 //	go run ./examples/sweep -daemon http://127.0.0.1:8080
 package main
@@ -22,6 +31,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/noc"
+	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/service"
 	"repro/internal/system"
@@ -31,9 +41,17 @@ import (
 func main() {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per host CPU)")
 	daemon := flag.String("daemon", "", "run the sweep through a hybridsimd at this base URL instead of locally")
+	var sets, sweeps runner.MultiFlag
+	flag.Var(&sets, "set", "fix one machine knob on every run, name=value (repeatable)")
+	flag.Var(&sweeps, "sweep", "sweep one machine knob, name=v1,v2,... (repeatable; prints a per-knob CSV)")
 	flag.Parse()
 
 	const cores = 16
+	if len(sweeps) > 0 {
+		runAxisSweep(*workers, *daemon, cores, sets, sweeps)
+		return
+	}
+
 	sizes := []int{4, 8, 16, 32, 48, 96}
 	specs := make([]system.Spec, len(sizes))
 	for i, entries := range sizes {
@@ -47,16 +65,7 @@ func main() {
 	}
 
 	fmt.Println("filter size sweep: IS on the hybrid system (16 cores, small scale)")
-	var results []system.Results
-	var err error
-	if *daemon != "" {
-		results, err = runRemote(*daemon, specs)
-	} else {
-		results, err = runner.Collect(runner.Run(specs, runner.Options{
-			Workers:  *workers,
-			Progress: os.Stderr,
-		}))
-	}
+	results, err := execute(*workers, *daemon, specs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,6 +79,49 @@ func main() {
 	}
 	fmt.Println("\nBigger filters push the hit ratio up and protocol traffic down until")
 	fmt.Println("the guarded working set fits; Table 1's 48 entries sit at the knee.")
+}
+
+// runAxisSweep expands the -sweep axes on IS/hybrid and emits the
+// per-knob-column CSV on stdout. Results arrive in input order whatever the
+// worker count, so the CSV is byte-identical for any -workers N.
+func runAxisSweep(workers int, daemon string, cores int, sets, sweeps []string) {
+	base, err := config.ParseOverrides(sets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	axes, err := runner.ParseKnobAxes(sweeps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs, err := runner.Axes{
+		Benchmarks: []string{"IS"},
+		Systems:    []config.MemorySystem{config.HybridReal},
+		Scale:      workloads.Small,
+		Cores:      cores,
+		Base:       base,
+		Knobs:      axes,
+	}.Specs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := execute(workers, daemon, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.SweepCSV(os.Stdout, specs, results); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// execute runs the Specs locally or through a daemon.
+func execute(workers int, daemon string, specs []system.Spec) ([]system.Results, error) {
+	if daemon != "" {
+		return runRemote(daemon, specs)
+	}
+	return runner.Collect(runner.Run(specs, runner.Options{
+		Workers:  workers,
+		Progress: os.Stderr,
+	}))
 }
 
 // runRemote submits the sweep points to a hybridsimd and blocks for their

@@ -299,5 +299,46 @@ func (c Config) Validate() error {
 	if c.IssueWidth <= 0 || c.ROBEntries <= 0 || c.LQEntries <= 0 || c.SQEntries <= 0 {
 		return errors.New("config: pipeline parameters must be positive")
 	}
+	// Capacity knobs an Overrides can now reach directly: a zero here wires a
+	// machine that deadlocks (no MSHRs, no issue window) or divides by zero,
+	// so fail fast instead.
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"MSHREntries", c.MSHREntries},
+		{"CoreMLP", c.CoreMLP},
+		{"IQEntries", c.IQEntries},
+		{"TLBEntries", c.TLBEntries},
+		{"PrefetchDegree", c.PrefetchDegree},
+		{"PrefetchTableSz", c.PrefetchTableSz},
+		{"PrefetchDistance", c.PrefetchDistance},
+		{"MemCyclesPerLn", c.MemCyclesPerLn},
+	} {
+		if p.v <= 0 {
+			return fmt.Errorf("config: %s %d must be positive", p.name, p.v)
+		}
+	}
+	// Latencies may legitimately be zero (a free structure) but never
+	// negative — a negative latency schedules events into the past.
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"L1ILatency", c.L1ILatency},
+		{"L1DLatency", c.L1DLatency},
+		{"L2Latency", c.L2Latency},
+		{"TLBLatency", c.TLBLatency},
+		{"TLBMissLat", c.TLBMissLat},
+		{"LinkLatency", c.LinkLatency},
+		{"RouterLatency", c.RouterLatency},
+		{"MemLatency", c.MemLatency},
+		{"SPMLatency", c.SPMLatency},
+		{"DMALineCycles", c.DMALineCycles},
+	} {
+		if p.v < 0 {
+			return fmt.Errorf("config: %s %d must not be negative", p.name, p.v)
+		}
+	}
 	return nil
 }

@@ -1,0 +1,181 @@
+package config
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestKnobRegistryCoversEveryConfigKnob pins the registry to the Config
+// struct: every int field of Config (everything but the System enum) must
+// have exactly one registry entry, and every registry entry must address a
+// distinct field in both Config and Overrides. A knob added to Config
+// without a registry entry would be silently unsweepable.
+func TestKnobRegistryCoversEveryConfigKnob(t *testing.T) {
+	intFields := 0
+	rt := reflect.TypeOf(Config{})
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type == reflect.TypeOf(int(0)) {
+			intFields++
+		}
+	}
+	if got := len(Knobs()); got != intFields {
+		t.Fatalf("registry has %d knobs, Config has %d int fields", got, intFields)
+	}
+	if ot := reflect.TypeOf(Overrides{}); ot.NumField() != intFields {
+		t.Fatalf("Overrides has %d fields, Config has %d int knobs", ot.NumField(), intFields)
+	}
+
+	var c Config
+	var o Overrides
+	seenCfg := map[*int]string{}
+	seenOv := map[*int]string{}
+	for _, k := range Knobs() {
+		if prev, dup := seenCfg[k.Field(&c)]; dup {
+			t.Fatalf("knobs %s and %s share a Config field", prev, k.Name)
+		}
+		if prev, dup := seenOv[k.Over(&o)]; dup {
+			t.Fatalf("knobs %s and %s share an Overrides field", prev, k.Name)
+		}
+		seenCfg[k.Field(&c)] = k.Name
+		seenOv[k.Over(&o)] = k.Name
+	}
+}
+
+// TestKnobNamesMatchJSONTags: a knob's registry name is also its JSON wire
+// name, so -set flags, ?set= parameters and {"overrides":{...}} bodies all
+// speak one vocabulary.
+func TestKnobNamesMatchJSONTags(t *testing.T) {
+	var o Overrides
+	ot := reflect.TypeOf(o)
+	tags := map[string]bool{}
+	for i := 0; i < ot.NumField(); i++ {
+		tag := strings.TrimSuffix(ot.Field(i).Tag.Get("json"), ",omitempty")
+		tags[tag] = true
+	}
+	for _, name := range KnobNames() {
+		if !tags[name] {
+			t.Errorf("knob %q has no matching Overrides JSON tag", name)
+		}
+	}
+}
+
+func TestOverridesApplyAndConfigDiff(t *testing.T) {
+	var o Overrides
+	if err := o.Set("l1d_size", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Set("filter_entries", 16); err != nil {
+		t.Fatal(err)
+	}
+	base := ForSystem(HybridReal)
+	cfg := base
+	o.Apply(&cfg)
+	if cfg.L1DSize != 64<<10 || cfg.FilterEntries != 16 {
+		t.Fatalf("Apply missed: L1DSize=%d FilterEntries=%d", cfg.L1DSize, cfg.FilterEntries)
+	}
+	if cfg.Cores != base.Cores {
+		t.Fatalf("Apply perturbed an unset knob: Cores=%d", cfg.Cores)
+	}
+	diff := ConfigDiff(cfg, base)
+	want := []KnobValue{{"l1d_size", 64 << 10}, {"filter_entries", 16}}
+	if !reflect.DeepEqual(diff, want) {
+		t.Fatalf("ConfigDiff = %v, want %v", diff, want)
+	}
+	// A knob set to its default value is not a difference.
+	var od Overrides
+	od.Set("cores", base.Cores)
+	cfg = base
+	od.Apply(&cfg)
+	if d := ConfigDiff(cfg, base); len(d) != 0 {
+		t.Fatalf("default-valued override diffed: %v", d)
+	}
+}
+
+func TestOverridesSetRejectsBadInput(t *testing.T) {
+	var o Overrides
+	if err := o.Set("warp_drive", 1); err == nil || !strings.Contains(err.Error(), "warp_drive") {
+		t.Fatalf("unknown knob: err = %v", err)
+	}
+	if err := o.Set("cores", 0); err == nil {
+		t.Fatal("Set accepted 0")
+	}
+	if err := o.Set("cores", -4); err == nil {
+		t.Fatal("Set accepted a negative value")
+	}
+}
+
+func TestParseOverrides(t *testing.T) {
+	o, err := ParseOverrides([]string{"l1d_size=65536", "cores=16", "cores=8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.L1DSize != 65536 || o.Cores != 8 {
+		t.Fatalf("parsed %+v, want l1d_size=65536 cores=8 (last assignment wins)", o)
+	}
+	for _, bad := range []string{"cores", "=4", "cores=abc", "cores=-1", "nope=1"} {
+		if _, err := ParseOverrides([]string{bad}); err == nil {
+			t.Errorf("ParseOverrides accepted %q", bad)
+		}
+	}
+}
+
+func TestOverridesJSONSparse(t *testing.T) {
+	var o Overrides
+	o.Set("l1d_size", 65536)
+	b, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"l1d_size":65536}` {
+		t.Fatalf("wire form %s, want only the set knob", b)
+	}
+	var got Overrides
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != o {
+		t.Fatalf("round trip changed Overrides: %+v vs %+v", got, o)
+	}
+}
+
+func TestOverridesValidate(t *testing.T) {
+	var o Overrides
+	o.MemLatency = -1
+	if err := o.Validate(); err == nil || !strings.Contains(err.Error(), "mem_latency") {
+		t.Fatalf("err = %v, want negative mem_latency rejection", err)
+	}
+	o = Overrides{}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateRejectsDegenerateCapacities pins the Validate gap fix: knobs
+// an Overrides can now zero out must be rejected, not wired.
+func TestValidateRejectsDegenerateCapacities(t *testing.T) {
+	fields := []string{"MSHREntries", "CoreMLP", "IQEntries", "TLBEntries",
+		"PrefetchDegree", "PrefetchTableSz", "PrefetchDistance", "MemCyclesPerLn"}
+	for _, f := range fields {
+		c := Default()
+		reflect.ValueOf(&c).Elem().FieldByName(f).SetInt(0)
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate accepted %s = 0", f)
+		}
+	}
+	lat := []string{"L1ILatency", "L1DLatency", "L2Latency", "TLBLatency", "TLBMissLat",
+		"LinkLatency", "RouterLatency", "MemLatency", "SPMLatency", "DMALineCycles"}
+	for _, f := range lat {
+		c := Default()
+		reflect.ValueOf(&c).Elem().FieldByName(f).SetInt(-1)
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate accepted %s = -1", f)
+		}
+		c = Default()
+		reflect.ValueOf(&c).Elem().FieldByName(f).SetInt(0)
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate rejected %s = 0: %v (zero latency is legal)", f, err)
+		}
+	}
+}

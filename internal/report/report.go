@@ -177,34 +177,115 @@ func Fig11(w io.Writer, names []string, cacheRes, hybrid map[string]system.Resul
 
 // CSV emits one machine-readable line per (benchmark, system) result.
 func CSV(w io.Writer, results []system.Results) {
-	fmt.Fprintln(w, "benchmark,system,cycles,ctrl,sync,work,pkts,ifetch,read,write,wbrepl,dma,cohprot,energy_total,energy_cpus,energy_caches,energy_noc,energy_others,energy_spms,energy_cohprot,filter_hit,retired,flushes")
+	fmt.Fprintln(w, "benchmark,system,"+resultHeader)
 	for _, r := range results {
-		fields := []string{
-			r.Benchmark, r.System.String(),
-			fmt.Sprint(r.Cycles),
-			fmt.Sprint(r.PhaseCycles[isa.PhaseControl]),
-			fmt.Sprint(r.PhaseCycles[isa.PhaseSync]),
-			fmt.Sprint(r.PhaseCycles[isa.PhaseWork]),
-			fmt.Sprint(r.TotalPkts),
-			fmt.Sprint(r.NoCPackets[noc.Ifetch]),
-			fmt.Sprint(r.NoCPackets[noc.Read]),
-			fmt.Sprint(r.NoCPackets[noc.Write]),
-			fmt.Sprint(r.NoCPackets[noc.WBRepl]),
-			fmt.Sprint(r.NoCPackets[noc.DMA]),
-			fmt.Sprint(r.NoCPackets[noc.CohProt]),
-			fmt.Sprintf("%.0f", r.Energy.Total()),
-			fmt.Sprintf("%.0f", r.Energy.CPUs),
-			fmt.Sprintf("%.0f", r.Energy.Caches),
-			fmt.Sprintf("%.0f", r.Energy.NoC),
-			fmt.Sprintf("%.0f", r.Energy.Others),
-			fmt.Sprintf("%.0f", r.Energy.SPMs),
-			fmt.Sprintf("%.0f", r.Energy.CohProt),
-			fmt.Sprintf("%.4f", r.FilterHitRatio),
-			fmt.Sprint(r.Retired),
-			fmt.Sprint(r.Flushes),
-		}
+		fields := append([]string{r.Benchmark, r.System.String()}, resultFields(r)...)
 		fmt.Fprintln(w, strings.Join(fields, ","))
 	}
+}
+
+// sweepKnobColumns returns, in canonical registry order, the union of the
+// knobs the given specs override — the per-axis columns of a sweep table.
+func sweepKnobColumns(specs []system.Spec) []string {
+	set := map[string]bool{}
+	for _, s := range specs {
+		for _, kv := range s.KnobDiff() {
+			set[kv.Name] = true
+		}
+	}
+	var cols []string
+	for _, name := range config.KnobNames() {
+		if set[name] {
+			cols = append(cols, name)
+		}
+	}
+	return cols
+}
+
+// resultFields renders the measurement columns shared by CSV and SweepCSV.
+func resultFields(r system.Results) []string {
+	return []string{
+		fmt.Sprint(r.Cycles),
+		fmt.Sprint(r.PhaseCycles[isa.PhaseControl]),
+		fmt.Sprint(r.PhaseCycles[isa.PhaseSync]),
+		fmt.Sprint(r.PhaseCycles[isa.PhaseWork]),
+		fmt.Sprint(r.TotalPkts),
+		fmt.Sprint(r.NoCPackets[noc.Ifetch]),
+		fmt.Sprint(r.NoCPackets[noc.Read]),
+		fmt.Sprint(r.NoCPackets[noc.Write]),
+		fmt.Sprint(r.NoCPackets[noc.WBRepl]),
+		fmt.Sprint(r.NoCPackets[noc.DMA]),
+		fmt.Sprint(r.NoCPackets[noc.CohProt]),
+		fmt.Sprintf("%.0f", r.Energy.Total()),
+		fmt.Sprintf("%.0f", r.Energy.CPUs),
+		fmt.Sprintf("%.0f", r.Energy.Caches),
+		fmt.Sprintf("%.0f", r.Energy.NoC),
+		fmt.Sprintf("%.0f", r.Energy.Others),
+		fmt.Sprintf("%.0f", r.Energy.SPMs),
+		fmt.Sprintf("%.0f", r.Energy.CohProt),
+		fmt.Sprintf("%.4f", r.FilterHitRatio),
+		fmt.Sprint(r.Retired),
+		fmt.Sprint(r.Flushes),
+	}
+}
+
+const resultHeader = "cycles,ctrl,sync,work,pkts,ifetch,read,write,wbrepl,dma,cohprot,energy_total,energy_cpus,energy_caches,energy_noc,energy_others,energy_spms,energy_cohprot,filter_hit,retired,flushes"
+
+// SweepCSV emits one line per run of an axis sweep with one column per
+// swept knob (the union of every Spec's non-default knobs, from
+// Spec.KnobDiff, in registry order) — a self-describing table instead of
+// opaque Key strings. A knob a given run leaves at its default renders as
+// the resolved default value, so every cell is a concrete machine
+// parameter.
+func SweepCSV(w io.Writer, specs []system.Spec, results []system.Results) error {
+	if len(specs) != len(results) {
+		return fmt.Errorf("report: %d specs for %d results", len(specs), len(results))
+	}
+	ew := &errWriter{w: w}
+	cols := sweepKnobColumns(specs)
+	header := []string{"benchmark", "system", "scale"}
+	header = append(header, cols...)
+	fmt.Fprintln(ew, strings.Join(header, ",")+","+resultHeader)
+	for i, s := range specs {
+		cfg := s.Config()
+		fields := []string{s.Benchmark, s.System.String(), s.Scale.String()}
+		for _, name := range cols {
+			k, _ := config.KnobByName(name)
+			fields = append(fields, fmt.Sprint(*k.Field(&cfg)))
+		}
+		fields = append(fields, resultFields(results[i])...)
+		fmt.Fprintln(ew, strings.Join(fields, ","))
+	}
+	return ew.err
+}
+
+// SweepRow is one run of SweepJSON: the Spec, its non-default knobs as a
+// name->value map, and the measurements.
+type SweepRow struct {
+	Spec    system.Spec    `json:"spec"`
+	Knobs   map[string]int `json:"knobs,omitempty"`
+	Results system.Results `json:"results"`
+}
+
+// SweepJSON is the JSON sibling of SweepCSV: an indented array of rows,
+// each carrying its swept knobs explicitly.
+func SweepJSON(w io.Writer, specs []system.Spec, results []system.Results) error {
+	if len(specs) != len(results) {
+		return fmt.Errorf("report: %d specs for %d results", len(specs), len(results))
+	}
+	rows := make([]SweepRow, len(specs))
+	for i, s := range specs {
+		rows[i] = SweepRow{Spec: s, Results: results[i]}
+		if diff := s.KnobDiff(); len(diff) > 0 {
+			rows[i].Knobs = make(map[string]int, len(diff))
+			for _, kv := range diff {
+				rows[i].Knobs[kv.Name] = kv.Value
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 // JSON emits the results as an indented JSON array, one object per run.

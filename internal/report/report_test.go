@@ -214,3 +214,89 @@ func TestCSVRoundTrip(t *testing.T) {
 		t.Fatalf("CSV row = %v", row[:2])
 	}
 }
+
+// sweepFixtures builds a two-point filter sweep with one shared override —
+// the shape SweepCSV/SweepJSON must render with per-knob columns.
+func sweepFixtures() ([]system.Spec, []system.Results) {
+	var specs []system.Spec
+	var results []system.Results
+	for i, f := range []int{16, 32} {
+		s := system.Spec{System: config.HybridReal, Benchmark: "IS", Scale: workloads.Tiny, Cores: 4}
+		s.Overrides.FilterEntries = f
+		s.Overrides.MemLatency = 200
+		specs = append(specs, s)
+		results = append(results, fakeResults("IS", config.HybridReal, uint64(1000*(i+1))))
+	}
+	return specs, results
+}
+
+// TestSweepCSVPerKnobColumns: every swept knob becomes a named column (in
+// registry order), every cell a concrete resolved value.
+func TestSweepCSVPerKnobColumns(t *testing.T) {
+	specs, results := sweepFixtures()
+	var buf strings.Builder
+	if err := SweepCSV(&buf, specs, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	header := strings.Split(lines[0], ",")
+	// Registry order; the cores change drags its derived adjustments (mesh
+	// re-dimensioning, controller cap) into the diff, so they get columns
+	// too — the table names the machine that actually ran.
+	wantPrefix := []string{"benchmark", "system", "scale", "cores", "mesh_width", "mesh_height",
+		"mem_controllers", "mem_latency", "filter_entries", "cycles"}
+	for i, w := range wantPrefix {
+		if header[i] != w {
+			t.Fatalf("header[%d] = %q, want %q (full header %v)", i, header[i], w, header)
+		}
+	}
+	row := strings.Split(lines[1], ",")
+	if got, want := strings.Join(row[:9], ","), "IS,hybrid,tiny,4,2,2,4,200,16"; got != want {
+		t.Fatalf("row 1 = %v, want %v", got, want)
+	}
+	row2 := strings.Split(lines[2], ",")
+	if row2[8] != "32" {
+		t.Fatalf("row 2 filter_entries = %q, want 32", row2[8])
+	}
+	if len(row) != len(header) || len(row2) != len(header) {
+		t.Fatal("ragged CSV")
+	}
+}
+
+func TestSweepJSONCarriesKnobs(t *testing.T) {
+	specs, results := sweepFixtures()
+	var buf strings.Builder
+	if err := SweepJSON(&buf, specs, results); err != nil {
+		t.Fatal(err)
+	}
+	var rows []SweepRow
+	if err := json.Unmarshal([]byte(buf.String()), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	if rows[0].Knobs["filter_entries"] != 16 || rows[1].Knobs["filter_entries"] != 32 {
+		t.Fatalf("knob maps wrong: %v / %v", rows[0].Knobs, rows[1].Knobs)
+	}
+	if rows[0].Knobs["mem_latency"] != 200 {
+		t.Fatalf("shared override missing: %v", rows[0].Knobs)
+	}
+	if rows[0].Results.Cycles != 1000 {
+		t.Fatalf("results lost: %+v", rows[0].Results)
+	}
+}
+
+func TestSweepSinksRejectLengthMismatch(t *testing.T) {
+	specs, results := sweepFixtures()
+	var buf strings.Builder
+	if err := SweepCSV(&buf, specs, results[:1]); err == nil {
+		t.Fatal("SweepCSV accepted mismatched lengths")
+	}
+	if err := SweepJSON(&buf, specs[:1], results); err == nil {
+		t.Fatal("SweepJSON accepted mismatched lengths")
+	}
+}

@@ -2,6 +2,9 @@ package rescache
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -334,5 +337,66 @@ func TestFollowerSurvivesLeaderCancellation(t *testing.T) {
 	}
 	if o.hit || o.res.Cycles != 11 || calls != 1 {
 		t.Fatalf("follower takeover: hit=%v res=%+v calls=%d, want a fresh run", o.hit, o.res, calls)
+	}
+}
+
+// v1Hash reproduces the retired hybridsim-spec-v1 encoding, which resolved
+// every defaultable field instead of listing non-default knobs.
+func v1Hash(s system.Spec) string {
+	def := config.ForSystem(s.System)
+	cores, filter := def.Cores, def.FilterEntries
+	if s.Cores > 0 {
+		cores = s.Cores
+	}
+	if s.FilterEntries > 0 {
+		filter = s.FilterEntries
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = system.DefaultSeed
+	}
+	enc := fmt.Sprintf(
+		"hybridsim-spec-v1\nsystem=%s\nbenchmark=%s\nscale=%s\ncores=%d\nseed=%x\nfilter=%d\nmaxevents=%d\n",
+		s.System, s.Benchmark, s.Scale, cores, seed, filter, s.MaxEvents)
+	sum := sha256.Sum256([]byte(enc))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestV1DiskEntriesMissUnderV2 pins DESIGN.md §8's versioning contract for
+// the v1 -> v2 hash migration: an entry a v1 daemon persisted sits under a
+// name no v2 Spec can hash to, so it reads as a miss (a re-execute), never
+// as a wrong or stale answer.
+func TestV1DiskEntriesMissUnderV2(t *testing.T) {
+	dir := t.TempDir()
+	s := spec(8)
+	if s.Hash() == v1Hash(s) {
+		t.Fatal("v2 hash equals the v1 hash; the encoding was not versioned")
+	}
+	// Simulate the upgrade: a v1-era file holding perfectly good Results
+	// under the old address.
+	e := Entry{Spec: s, Res: system.Results{Benchmark: "EP", Cycles: 999}}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, v1Hash(s)+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, 8, dir)
+	if _, ok := c.Get(s); ok {
+		t.Fatal("a v1 disk entry was served under the v2 address")
+	}
+	calls := 0
+	if _, hit, err := c.GetOrRun(context.Background(), s, fakeRun(&calls, 7)); err != nil || hit {
+		t.Fatalf("hit=%v err=%v, want a clean miss and re-execute", hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("run executed %d times, want 1", calls)
+	}
+	// The re-executed result is re-persisted under the v2 address, so the
+	// next process hits.
+	c2 := mustNew(t, 8, dir)
+	if _, ok := c2.Get(s); !ok {
+		t.Fatal("re-executed result not persisted under the v2 address")
 	}
 }

@@ -1,0 +1,179 @@
+package runner
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+// MultiFlag accumulates repeatable string flags — the CLI carrier for the
+// "-set name=value" / "-sweep name=v1,v2,..." payloads ParseKnobAxes and
+// config.ParseOverrides consume. It implements flag.Value.
+type MultiFlag []string
+
+func (m *MultiFlag) String() string { return fmt.Sprint(*m) }
+
+// Set appends one flag occurrence.
+func (m *MultiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// KnobAxis is one swept machine dimension: a knob name from the
+// config.Knobs() registry and the values it takes. It doubles as the wire
+// form of a sweep axis in the service API.
+type KnobAxis struct {
+	Name   string `json:"name"`
+	Values []int  `json:"values"`
+}
+
+// ParseKnobAxis parses the "-sweep name=v1,v2,..." flag payload.
+func ParseKnobAxis(s string) (KnobAxis, error) {
+	name, raw, ok := strings.Cut(s, "=")
+	if !ok || name == "" || raw == "" {
+		return KnobAxis{}, fmt.Errorf("runner: bad sweep axis %q (want name=v1,v2,...)", s)
+	}
+	ax := KnobAxis{Name: strings.TrimSpace(name)}
+	for _, f := range strings.Split(raw, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return KnobAxis{}, fmt.Errorf("runner: bad value in sweep axis %q: %w", s, err)
+		}
+		ax.Values = append(ax.Values, v)
+	}
+	return ax, nil
+}
+
+// ParseKnobAxes parses a list of "-sweep" flag payloads into axes.
+func ParseKnobAxes(flags []string) ([]KnobAxis, error) {
+	var axes []KnobAxis
+	for _, f := range flags {
+		ax, err := ParseKnobAxis(f)
+		if err != nil {
+			return nil, err
+		}
+		axes = append(axes, ax)
+	}
+	return axes, nil
+}
+
+// CoresFlag resolves a -cores flag value against an explicit "cores"
+// override, which wins. This is the single spelling of the precedence rule
+// every driver needs: CLI -cores flags carry non-zero defaults, so without
+// it a user's "-set cores=N" would always trip Spec.Validate's
+// legacy-vs-override conflict check. Axes.Specs applies the same rule to
+// its Cores field.
+func CoresFlag(ov config.Overrides, flagCores int) int {
+	if ov.Cores != 0 {
+		return 0
+	}
+	return flagCores
+}
+
+// Axes declares a sweep as the cross product of its dimensions: benchmarks
+// x systems x every knob axis, each point carrying the shared Base
+// overrides. It generalizes the fixed benchmark x system Matrix to the full
+// machine parameter space — any registry knob can be an axis, so design-
+// space exploration needs no Go-code changes.
+type Axes struct {
+	// Benchmarks defaults to every workloads name.
+	Benchmarks []string
+	// Systems defaults to AllSystems.
+	Systems []config.MemorySystem
+	Scale   workloads.Scale
+
+	// Cores and Seed apply to every point (0 = default). Cores is the
+	// legacy convenience; a "cores" Base override or KnobAxis addresses
+	// the same knob and takes precedence, so "-sweep cores=4,8" works
+	// even when a driver always fills this field from its -cores flag.
+	Cores int
+	Seed  uint64
+
+	// MaxEvents bounds every run (0 = unbounded).
+	MaxEvents uint64
+
+	// Base overrides are applied to every point before the axes.
+	Base config.Overrides
+
+	// Knobs are the swept machine dimensions, slowest-varying first. The
+	// cross product nests them inside benchmarks and systems, so the
+	// benchmark-major order of the legacy Matrix is preserved when no knob
+	// axis is present.
+	Knobs []KnobAxis
+}
+
+// Specs enumerates the cross product, validating axis names and values up
+// front so a typo fails before anything is queued or simulated.
+func (a Axes) Specs() ([]system.Spec, error) {
+	benches := a.Benchmarks
+	if len(benches) == 0 {
+		benches = workloads.Names()
+	}
+	systems := a.Systems
+	if len(systems) == 0 {
+		systems = AllSystems
+	}
+	cores := CoresFlag(a.Base, a.Cores)
+	n := len(benches) * len(systems)
+	seen := map[string]bool{}
+	for _, ax := range a.Knobs {
+		if ax.Name == "cores" {
+			cores = 0 // the axis sweeps the knob the legacy field would pin
+		}
+		if _, ok := config.KnobByName(ax.Name); !ok {
+			return nil, fmt.Errorf("runner: unknown sweep knob %q (want one of %v)", ax.Name, config.KnobNames())
+		}
+		if seen[ax.Name] {
+			return nil, fmt.Errorf("runner: duplicate sweep axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("runner: sweep axis %q has no values", ax.Name)
+		}
+		for _, v := range ax.Values {
+			if v <= 0 {
+				return nil, fmt.Errorf("runner: sweep axis %q value %d must be positive", ax.Name, v)
+			}
+		}
+		n *= len(ax.Values)
+	}
+
+	specs := make([]system.Spec, 0, n)
+	// point recursively expands the knob axes for one (benchmark, system).
+	var point func(base system.Spec, rest []KnobAxis) error
+	point = func(base system.Spec, rest []KnobAxis) error {
+		if len(rest) == 0 {
+			specs = append(specs, base)
+			return nil
+		}
+		ax := rest[0]
+		for _, v := range ax.Values {
+			s := base
+			if err := s.Overrides.Set(ax.Name, v); err != nil {
+				return err
+			}
+			if err := point(s, rest[1:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, b := range benches {
+		for _, sys := range systems {
+			base := system.Spec{
+				System:    sys,
+				Benchmark: b,
+				Scale:     a.Scale,
+				Overrides: a.Base,
+				Cores:     cores,
+				Seed:      a.Seed,
+				MaxEvents: a.MaxEvents,
+			}
+			if err := point(base, a.Knobs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return specs, nil
+}

@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+// TestAxesCrossProduct pins the enumeration: benchmarks major, then
+// systems, then knob axes in declared order, innermost fastest.
+func TestAxesCrossProduct(t *testing.T) {
+	a := Axes{
+		Benchmarks: []string{"EP", "IS"},
+		Systems:    []config.MemorySystem{config.HybridReal},
+		Scale:      workloads.Tiny,
+		Cores:      4,
+		Knobs: []KnobAxis{
+			{Name: "filter_entries", Values: []int{8, 16}},
+			{Name: "l1d_size", Values: []int{16 << 10, 32 << 10}},
+		},
+	}
+	specs, err := a.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2*1*2*2 {
+		t.Fatalf("cross product = %d specs, want 8", len(specs))
+	}
+	// First block: EP, filter 8, l1d sweeping fastest.
+	if specs[0].Overrides.FilterEntries != 8 || specs[0].Overrides.L1DSize != 16<<10 {
+		t.Fatalf("specs[0] = %+v", specs[0].Overrides)
+	}
+	if specs[1].Overrides.FilterEntries != 8 || specs[1].Overrides.L1DSize != 32<<10 {
+		t.Fatalf("specs[1] = %+v", specs[1].Overrides)
+	}
+	if specs[2].Overrides.FilterEntries != 16 {
+		t.Fatalf("specs[2] = %+v", specs[2].Overrides)
+	}
+	if specs[4].Benchmark != "IS" {
+		t.Fatalf("specs[4].Benchmark = %s, want IS", specs[4].Benchmark)
+	}
+	// Every point is distinct and valid.
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Key()] {
+			t.Fatalf("duplicate key %s", s.Key())
+		}
+		seen[s.Key()] = true
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Key(), err)
+		}
+	}
+}
+
+func TestAxesBaseOverridesApplyToEveryPoint(t *testing.T) {
+	var base config.Overrides
+	if err := base.Set("mem_latency", 200); err != nil {
+		t.Fatal(err)
+	}
+	a := Axes{
+		Benchmarks: []string{"EP"},
+		Systems:    []config.MemorySystem{config.CacheBased},
+		Scale:      workloads.Tiny,
+		Cores:      4,
+		Base:       base,
+		Knobs:      []KnobAxis{{Name: "l1d_size", Values: []int{16 << 10, 32 << 10}}},
+	}
+	specs, err := a.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if s.Overrides.MemLatency != 200 {
+			t.Fatalf("%s lost the base override: %+v", s.Key(), s.Overrides)
+		}
+	}
+}
+
+func TestAxesRejectsBadAxes(t *testing.T) {
+	cases := []Axes{
+		{Scale: workloads.Tiny, Knobs: []KnobAxis{{Name: "warp_drive", Values: []int{1}}}},
+		{Scale: workloads.Tiny, Knobs: []KnobAxis{{Name: "l1d_size", Values: nil}}},
+		{Scale: workloads.Tiny, Knobs: []KnobAxis{{Name: "l1d_size", Values: []int{0}}}},
+		{Scale: workloads.Tiny, Knobs: []KnobAxis{
+			{Name: "l1d_size", Values: []int{1 << 10}},
+			{Name: "l1d_size", Values: []int{2 << 10}},
+		}},
+	}
+	for i, a := range cases {
+		if _, err := a.Specs(); err == nil {
+			t.Errorf("case %d: Specs accepted a bad axis", i)
+		}
+	}
+}
+
+// TestMatrixIsAxesWithoutKnobs: the legacy Matrix must keep its exact
+// enumeration (order included) now that it delegates to Axes.
+func TestMatrixIsAxesWithoutKnobs(t *testing.T) {
+	got := Matrix([]string{"EP", "IS"}, AllSystems, workloads.Tiny, 4)
+	var want []system.Spec
+	for _, b := range []string{"EP", "IS"} {
+		for _, sys := range AllSystems {
+			want = append(want, system.Spec{System: sys, Benchmark: b, Scale: workloads.Tiny, Cores: 4})
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Matrix enumeration changed:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseKnobAxis(t *testing.T) {
+	ax, err := ParseKnobAxis("filter_entries=16,32, 48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ax.Name != "filter_entries" || !reflect.DeepEqual(ax.Values, []int{16, 32, 48}) {
+		t.Fatalf("parsed %+v", ax)
+	}
+	for _, bad := range []string{"filter_entries", "=1,2", "filter_entries=", "filter_entries=1,x"} {
+		if _, err := ParseKnobAxis(bad); err == nil {
+			t.Errorf("ParseKnobAxis accepted %q", bad)
+		}
+	}
+	if _, err := ParseKnobAxes([]string{"l1d_size=16384", "bogus"}); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("ParseKnobAxes = %v, want error naming the bad flag", err)
+	}
+}
+
+// TestAxesCoresKnobWinsOverLegacyField: drivers always fill Axes.Cores
+// from their -cores flag, so a "cores" Base override or sweep axis must
+// take precedence instead of tripping the Spec conflict check.
+func TestAxesCoresKnobWinsOverLegacyField(t *testing.T) {
+	var base config.Overrides
+	base.Set("cores", 8)
+	specs, err := Axes{
+		Benchmarks: []string{"EP"},
+		Systems:    []config.MemorySystem{config.CacheBased},
+		Scale:      workloads.Tiny,
+		Cores:      4, // the flag default the knob must override
+		Base:       base,
+	}.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Cores != 0 || specs[0].Overrides.Cores != 8 || specs[0].Config().Cores != 8 {
+		t.Fatalf("base cores override lost: %+v", specs[0])
+	}
+
+	specs, err = Axes{
+		Benchmarks: []string{"EP"},
+		Systems:    []config.MemorySystem{config.CacheBased},
+		Scale:      workloads.Tiny,
+		Cores:      4,
+		Knobs:      []KnobAxis{{Name: "cores", Values: []int{2, 8}}},
+	}.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Config().Cores != 2 || specs[1].Config().Cores != 8 {
+		t.Fatalf("cores axis lost: %+v", specs)
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Key(), err)
+		}
+	}
+}

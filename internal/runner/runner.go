@@ -154,18 +154,12 @@ var AllSystems = []config.MemorySystem{config.CacheBased, config.HybridReal, con
 
 // Matrix enumerates the full benchmark x memory-system sweep — the shape of
 // every figure in the paper — as Specs, benchmark-major like the original
-// serial loop.
+// serial loop. It is the no-knob-axes special case of Axes.
 func Matrix(benchmarks []string, systems []config.MemorySystem, scale workloads.Scale, cores int) []system.Spec {
-	specs := make([]system.Spec, 0, len(benchmarks)*len(systems))
-	for _, b := range benchmarks {
-		for _, sys := range systems {
-			specs = append(specs, system.Spec{
-				System:    sys,
-				Benchmark: b,
-				Scale:     scale,
-				Cores:     cores,
-			})
-		}
+	specs, err := Axes{Benchmarks: benchmarks, Systems: systems, Scale: scale, Cores: cores}.Specs()
+	if err != nil {
+		// Axes only fails on bad knob axes, and Matrix declares none.
+		panic(err)
 	}
 	return specs
 }

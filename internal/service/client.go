@@ -168,6 +168,24 @@ func (c *Client) Sweep(ctx context.Context, m Matrix, timeout time.Duration, eac
 	if len(m.Systems) > 0 {
 		q.Set("systems", strings.Join(m.Systems, ","))
 	}
+	if m.Overrides != nil {
+		// List() only emits positive values, so validate first: a negative
+		// override must fail here like it would on the POST path, not
+		// silently sweep the default machine.
+		if err := m.Overrides.Validate(); err != nil {
+			return SweepSummary{}, err
+		}
+		for _, kv := range m.Overrides.List() {
+			q.Add("set", fmt.Sprintf("%s=%d", kv.Name, kv.Value))
+		}
+	}
+	for _, ax := range m.Sweep {
+		vals := make([]string, len(ax.Values))
+		for i, v := range ax.Values {
+			vals[i] = strconv.Itoa(v)
+		}
+		q.Add("sweep", ax.Name+"="+strings.Join(vals, ","))
+	}
 	if timeout > 0 {
 		q.Set("timeout", timeout.String())
 	}

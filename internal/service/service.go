@@ -5,10 +5,14 @@
 //
 //	POST /v1/runs            submit one Spec, a list, or a matrix enumeration
 //	                         (?wait=true blocks for results, ?timeout=30s
-//	                         bounds the submitted work)
+//	                         bounds the submitted work); specs and matrices
+//	                         may carry machine-knob "overrides" and matrices
+//	                         per-knob "sweep" axes (config.Knobs registry)
 //	GET  /v1/runs/{key}      poll one run by its canonical Spec.Hash
-//	GET  /v1/sweep           run a figure's benchmark x system matrix and
+//	GET  /v1/sweep           run a benchmark x system x knob-axis matrix and
 //	                         stream one JSON line per completed run
+//	                         (?set=knob=value fixes a knob on every run,
+//	                         ?sweep=knob=v1,v2,... adds an axis; both repeat)
 //	GET  /v1/healthz         liveness plus queue depth
 //	GET  /v1/stats           cache hit rate, queue, and run counters
 //
@@ -282,13 +286,21 @@ type SubmitRequest struct {
 	Matrix *Matrix       `json:"matrix,omitempty"`
 }
 
-// Matrix enumerates a benchmark x memory-system sweep by name — the wire
-// form of runner.Matrix.
+// Matrix enumerates an axis-based sweep by name — the wire form of
+// runner.Axes: benchmarks x systems x every swept knob, with fixed
+// Overrides applied to each point.
 type Matrix struct {
 	Benchmarks []string `json:"benchmarks,omitempty"` // default: all six
 	Systems    []string `json:"systems,omitempty"`    // cache|hybrid|ideal; default: all three
 	Scale      string   `json:"scale"`
 	Cores      int      `json:"cores,omitempty"`
+
+	// Overrides fixes machine knobs for every enumerated run.
+	Overrides *config.Overrides `json:"overrides,omitempty"`
+
+	// Sweep adds one enumeration axis per entry, innermost last — each a
+	// registry knob (config.Knobs) with the values it takes.
+	Sweep []runner.KnobAxis `json:"sweep,omitempty"`
 }
 
 // Specs expands the enumeration, validating every name before anything is
@@ -298,20 +310,27 @@ func (m Matrix) Specs() ([]system.Spec, error) {
 	if err != nil {
 		return nil, err
 	}
-	benches := m.Benchmarks
-	if len(benches) == 0 {
-		benches = workloads.Names()
+	axes := runner.Axes{
+		Benchmarks: m.Benchmarks,
+		Scale:      scale,
+		Cores:      m.Cores,
+		Knobs:      m.Sweep,
 	}
-	systems := runner.AllSystems
+	if m.Overrides != nil {
+		axes.Base = *m.Overrides
+	}
 	if len(m.Systems) != 0 {
-		systems = make([]config.MemorySystem, len(m.Systems))
+		axes.Systems = make([]config.MemorySystem, len(m.Systems))
 		for i, name := range m.Systems {
-			if systems[i], err = config.ParseMemorySystem(name); err != nil {
+			if axes.Systems[i], err = config.ParseMemorySystem(name); err != nil {
 				return nil, err
 			}
 		}
 	}
-	specs := runner.Matrix(benches, systems, scale, m.Cores)
+	specs, err := axes.Specs()
+	if err != nil {
+		return nil, err
+	}
 	for _, sp := range specs {
 		if err := sp.Validate(); err != nil {
 			return nil, err
@@ -595,6 +614,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad cores %q", v))
 			return
 		}
+	}
+	// ?set=knob=value fixes a machine knob for every run; ?sweep=knob=v1,v2
+	// adds an enumeration axis. Both repeat.
+	if sets := q["set"]; len(sets) > 0 {
+		ov, err := config.ParseOverrides(sets)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		m.Overrides = &ov
+	}
+	if m.Sweep, err = runner.ParseKnobAxes(q["sweep"]); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	specs, err := m.Specs()
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/workloads"
@@ -20,20 +21,32 @@ const DefaultSeed = 0xC0FFEE
 // benchmark, at what scale, with which overrides. A Spec carries no wired
 // hardware, so it can be enumerated, hashed (Key), scheduled across workers,
 // and cached before anything is built. Execute turns it into Results.
+//
+// The machine parameter space is open: Overrides can retarget any knob of
+// config.Config by name (the registry in config.Knobs()), so sweeps over
+// cache sizes, NoC bandwidth, DRAM latency, prefetch degree, DMA queue
+// depths, etc. need no Go-code changes anywhere in the stack.
 type Spec struct {
 	System    config.MemorySystem
 	Benchmark string // a workloads name: CG, EP, FT, IS, MG, SP
 	Scale     workloads.Scale
 
-	// Cores overrides the Table 1 core count when > 0; the mesh is
-	// re-dimensioned to match (tests and scaled-down sweeps).
+	// Overrides retargets any subset of the machine's ~40 knobs relative to
+	// the Table 1 defaults of ForSystem(System). Zero-valued knobs are
+	// unset. All-int fields keep Spec comparable and map-key-safe.
+	Overrides config.Overrides
+
+	// Cores is a legacy shim predating Overrides: when > 0 it folds into
+	// Overrides.Cores at resolve time, so old JSON bodies, CLI flags and
+	// cache identities keep working. The mesh is re-dimensioned to match
+	// unless mesh_width/mesh_height are overridden explicitly.
 	Cores int
 
 	// Seed overrides the workload-generation seed when != 0.
 	Seed uint64
 
-	// FilterEntries overrides the per-core filter capacity when > 0 —
-	// the knob DESIGN.md's Ablation A sweeps.
+	// FilterEntries is the second legacy shim (the knob DESIGN.md's
+	// Ablation A sweeps); when > 0 it folds into Overrides.FilterEntries.
 	FilterEntries int
 
 	// MaxEvents bounds the run (0 = unbounded); exceeding it is an error.
@@ -48,34 +61,43 @@ func (s Spec) seed() uint64 {
 	return DefaultSeed
 }
 
-// cores resolves the effective core count (0 means the Table 1 default).
-func (s Spec) cores() int {
-	if s.Cores > 0 {
-		return s.Cores
+// resolved folds the legacy Cores/FilterEntries shims into the Overrides,
+// which afterwards is the single source of machine-knob truth. An explicit
+// Overrides field wins over its legacy twin (Validate rejects the
+// conflicting case, so the precedence only decides error messages).
+func (s Spec) resolved() config.Overrides {
+	ov := s.Overrides
+	if s.Cores > 0 && ov.Cores == 0 {
+		ov.Cores = s.Cores
 	}
-	return config.ForSystem(s.System).Cores
+	if s.FilterEntries > 0 && ov.FilterEntries == 0 {
+		ov.FilterEntries = s.FilterEntries
+	}
+	return ov
 }
 
-// filterEntries resolves the effective filter capacity (0 = Table 1).
-func (s Spec) filterEntries() int {
-	if s.FilterEntries > 0 {
-		return s.FilterEntries
-	}
-	return config.ForSystem(s.System).FilterEntries
+// KnobDiff returns, in canonical registry order, every knob of the
+// materialized machine (Spec.Config()) that differs from the ForSystem
+// defaults — the identity Key and Hash encode, and the columns a sweep
+// sink prints (report.SweepCSV). Diffing the materialized Config rather
+// than the sparse override list matters for correctness: a core-count
+// change drags derived adjustments along (mesh re-dimensioning, the
+// memory-controller cap), and an explicit override spelled at a default
+// value can suppress such an adjustment — so only the final machine says
+// whether two Specs name the same run.
+func (s Spec) KnobDiff() []config.KnobValue {
+	return config.ConfigDiff(s.Config(), config.ForSystem(s.System))
 }
 
 // Key is a stable, human-readable identity for the run — usable as a map
 // key, a cache filename, or a progress label. Two Specs with equal Keys
 // produce byte-identical Results; equivalent Specs (a zero field vs its
-// explicit default — seed, cores, filter size) share one Key.
+// explicit default, a legacy field vs its Overrides twin) share one Key.
+// Non-default knobs render as "/name=value" in registry order.
 func (s Spec) Key() string {
 	k := fmt.Sprintf("%s/%s/%s", s.Benchmark, s.System, s.Scale)
-	def := config.ForSystem(s.System)
-	if s.Cores > 0 && s.Cores != def.Cores {
-		k += fmt.Sprintf("/c%d", s.Cores)
-	}
-	if s.FilterEntries > 0 && s.FilterEntries != def.FilterEntries {
-		k += fmt.Sprintf("/f%d", s.FilterEntries)
+	for _, kv := range s.KnobDiff() {
+		k += fmt.Sprintf("/%s=%d", kv.Name, kv.Value)
 	}
 	if s.seed() != DefaultSeed {
 		k += fmt.Sprintf("/s%x", s.seed())
@@ -86,26 +108,36 @@ func (s Spec) Key() string {
 	return k
 }
 
-// Hash is the canonical content address of the run: the SHA-256 (hex) of a
-// normalized fixed-order encoding of every result-affecting field, with
-// defaultable fields (seed, cores, filter size) resolved so equivalent
-// Specs collapse to one digest. DESIGN.md §8 documents the encoding; it is
-// versioned, so any change to the field set bumps the prefix and old cache
-// entries simply miss.
+// Hash is the canonical content address of the run: the SHA-256 (hex) of
+// the normalized fixed-order "hybridsim-spec-v2" encoding — the scenario
+// header followed by one "knob name=value" line per knob of the
+// materialized machine that differs from its Table 1 default, in
+// config.Knobs() registry order (KnobDiff). Defaultable fields are
+// resolved (seed) or dropped (knobs at their Table 1 value), so every
+// spelling of one machine — legacy Cores/FilterEntries, Overrides, or the
+// derived mesh/controller adjustments written out by hand — collapses to
+// one digest, and distinct machines never share one. DESIGN.md §8
+// documents the encoding; it is versioned, so any change to the field set
+// bumps the prefix and old cache entries simply miss (v1 entries now do
+// exactly that).
 func (s Spec) Hash() string {
-	enc := fmt.Sprintf(
-		"hybridsim-spec-v1\nsystem=%s\nbenchmark=%s\nscale=%s\ncores=%d\nseed=%x\nfilter=%d\nmaxevents=%d\n",
-		s.System, s.Benchmark, s.Scale, s.cores(), s.seed(), s.filterEntries(), s.MaxEvents)
-	sum := sha256.Sum256([]byte(enc))
+	var b strings.Builder
+	fmt.Fprintf(&b, "hybridsim-spec-v2\nsystem=%s\nbenchmark=%s\nscale=%s\nseed=%x\nmaxevents=%d\n",
+		s.System, s.Benchmark, s.Scale, s.seed(), s.MaxEvents)
+	for _, kv := range s.KnobDiff() {
+		fmt.Fprintf(&b, "knob %s=%d\n", kv.Name, kv.Value)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
 
-// specJSON is the wire form of a Spec. Field set and order mirror Spec
-// exactly so conversion is a plain type cast.
+// specJSON is the wire form of a Spec. Overrides travels as a pointer so an
+// all-default Spec serializes without an empty "overrides" object.
 type specJSON struct {
 	System        config.MemorySystem `json:"system"`
 	Benchmark     string              `json:"benchmark"`
 	Scale         workloads.Scale     `json:"scale"`
+	Overrides     *config.Overrides   `json:"overrides,omitempty"`
 	Cores         int                 `json:"cores,omitempty"`
 	Seed          uint64              `json:"seed,omitempty"`
 	FilterEntries int                 `json:"filter_entries,omitempty"`
@@ -115,7 +147,20 @@ type specJSON struct {
 // MarshalJSON encodes the Spec losslessly with the memory system and scale
 // by name, so specs survive service requests and disk cache entries intact.
 func (s Spec) MarshalJSON() ([]byte, error) {
-	return json.Marshal(specJSON(s))
+	sj := specJSON{
+		System:        s.System,
+		Benchmark:     s.Benchmark,
+		Scale:         s.Scale,
+		Cores:         s.Cores,
+		Seed:          s.Seed,
+		FilterEntries: s.FilterEntries,
+		MaxEvents:     s.MaxEvents,
+	}
+	if !s.Overrides.IsZero() {
+		ov := s.Overrides
+		sj.Overrides = &ov
+	}
+	return json.Marshal(sj)
 }
 
 // UnmarshalJSON decodes what MarshalJSON produces, rejecting unknown fields
@@ -128,7 +173,18 @@ func (s *Spec) UnmarshalJSON(b []byte) error {
 	if err := dec.Decode(&sj); err != nil {
 		return fmt.Errorf("system: bad spec: %w", err)
 	}
-	decoded := Spec(sj)
+	decoded := Spec{
+		System:        sj.System,
+		Benchmark:     sj.Benchmark,
+		Scale:         sj.Scale,
+		Cores:         sj.Cores,
+		Seed:          sj.Seed,
+		FilterEntries: sj.FilterEntries,
+		MaxEvents:     sj.MaxEvents,
+	}
+	if sj.Overrides != nil {
+		decoded.Overrides = *sj.Overrides
+	}
 	if err := decoded.Validate(); err != nil {
 		return err
 	}
@@ -136,14 +192,18 @@ func (s *Spec) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// Config materializes the machine configuration the Spec describes.
+// Config materializes the machine configuration the Spec describes: Table 1
+// defaults for the system, every override applied, and — when the core
+// count changes without an explicit mesh override — the mesh, memory
+// controllers and FilterDir re-dimensioned exactly as the legacy shrink
+// path did, so legacy and Overrides spellings build identical machines.
 func (s Spec) Config() config.Config {
-	cfg := config.ForSystem(s.System)
-	if s.FilterEntries > 0 {
-		cfg.FilterEntries = s.FilterEntries
-	}
-	if s.Cores > 0 && s.Cores != cfg.Cores {
-		cfg = shrink(cfg, s.Cores)
+	def := config.ForSystem(s.System)
+	cfg := def
+	ov := s.resolved()
+	ov.Apply(&cfg)
+	if ov.Cores > 0 && ov.Cores != def.Cores {
+		cfg = applyShrink(cfg, ov)
 	}
 	return cfg
 }
@@ -151,13 +211,25 @@ func (s Spec) Config() config.Config {
 // Validate reports whether the Spec names a buildable run.
 func (s Spec) Validate() error {
 	// Negative overrides would be ignored by Config (which treats <= 0 as
-	// "default") yet still perturb the canonical Hash — reject them before
-	// they can mint a bogus cache identity.
+	// "default") yet still perturb the wire form — reject them before they
+	// can mint a bogus cache identity.
 	if s.Cores < 0 {
 		return fmt.Errorf("system: negative core count %d", s.Cores)
 	}
 	if s.FilterEntries < 0 {
 		return fmt.Errorf("system: negative filter size %d", s.FilterEntries)
+	}
+	if err := s.Overrides.Validate(); err != nil {
+		return fmt.Errorf("system: %w", err)
+	}
+	// A legacy shim and its Overrides twin naming different values is a
+	// contradiction, not a precedence question.
+	if s.Cores > 0 && s.Overrides.Cores > 0 && s.Cores != s.Overrides.Cores {
+		return fmt.Errorf("system: cores %d conflicts with overrides cores %d", s.Cores, s.Overrides.Cores)
+	}
+	if s.FilterEntries > 0 && s.Overrides.FilterEntries > 0 && s.FilterEntries != s.Overrides.FilterEntries {
+		return fmt.Errorf("system: filter_entries %d conflicts with overrides filter_entries %d",
+			s.FilterEntries, s.Overrides.FilterEntries)
 	}
 	for _, n := range workloads.Names() {
 		if n == s.Benchmark {

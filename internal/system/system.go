@@ -342,22 +342,46 @@ func RunBenchmark(sys config.MemorySystem, bench *compiler.Benchmark, cores int,
 	return m.Run(maxEvents)
 }
 
-// shrink reconfigures the mesh for a smaller core count (tests, benches).
-func shrink(cfg config.Config, cores int) config.Config {
-	w, h := 1, cores
+// meshFor picks the squarest w x h mesh covering exactly cores nodes: the
+// largest divisor pair, w <= h. For a prime (or otherwise poorly factorable)
+// core count the only cover is the degenerate 1 x N chain, whose NoC
+// diameter is N-1 instead of O(sqrt N) — a very different network. That is
+// deliberate: silently rounding the core count up to a nicer mesh would
+// simulate a machine the user did not ask for, so the count is honored and
+// the chain documented (DESIGN.md §2, "Mesh dimensioning"); users who care
+// about the topology override mesh_width/mesh_height explicitly.
+func meshFor(cores int) (w, h int) {
+	w, h = 1, cores
 	for d := 1; d*d <= cores; d++ {
 		if cores%d == 0 {
 			w, h = d, cores/d
 		}
 	}
-	cfg.Cores = cores
-	cfg.MeshWidth = w
-	cfg.MeshHeight = h
-	if cfg.MemControllers > cores {
-		cfg.MemControllers = cores
+	return w, h
+}
+
+// applyShrink re-dimensions cfg's derived structures for a changed core
+// count: the mesh is re-factored, the memory controllers capped, and the
+// FilterDir floored (DESIGN.md §5 "Structure floors"). Each adjustment is
+// suppressed when ov pins the corresponding knob explicitly. This is the
+// single implementation behind both shrink (the legacy RunBenchmark path)
+// and Spec.Config — they must not diverge, because Spec.Hash() encodes the
+// machine this function produces.
+func applyShrink(cfg config.Config, ov config.Overrides) config.Config {
+	if ov.MeshWidth == 0 && ov.MeshHeight == 0 {
+		cfg.MeshWidth, cfg.MeshHeight = meshFor(cfg.Cores)
 	}
-	if cfg.FilterDirEntries < cores {
-		cfg.FilterDirEntries = cores
+	if ov.MemControllers == 0 && cfg.MemControllers > cfg.Cores {
+		cfg.MemControllers = cfg.Cores
+	}
+	if ov.FilterDirEntries == 0 && cfg.FilterDirEntries < cfg.Cores {
+		cfg.FilterDirEntries = cfg.Cores
 	}
 	return cfg
+}
+
+// shrink reconfigures the mesh for a smaller core count (tests, benches).
+func shrink(cfg config.Config, cores int) config.Config {
+	cfg.Cores = cores
+	return applyShrink(cfg, config.Overrides{})
 }

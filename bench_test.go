@@ -150,6 +150,54 @@ func BenchmarkFig11Energy(b *testing.B) {
 	b.ReportMetric(spms, "spmShare")
 }
 
+// runWorkload executes a parameterized registry workload on one system.
+func runWorkload(b *testing.B, name, params string, sys config.MemorySystem) system.Results {
+	b.Helper()
+	spec := system.Spec{System: sys, Benchmark: name, Params: params,
+		Scale: benchScale, Cores: benchCores}
+	r, err := spec.Execute()
+	if err != nil {
+		b.Fatalf("%s: %v", spec.Key(), err)
+	}
+	return r
+}
+
+// benchSystems are the three machines every synthetic probe runs on, so the
+// BENCH_<date>.json perf trajectory covers non-NAS patterns per system.
+var benchSystems = []config.MemorySystem{config.CacheBased, config.HybridReal, config.HybridIdeal}
+
+// BenchmarkSyntheticStream runs the streaming-triad registry workload (a
+// non-default stride=64) on every system — the bandwidth-bound synthetic
+// point of the perf trajectory.
+func BenchmarkSyntheticStream(b *testing.B) {
+	for _, sys := range benchSystems {
+		b.Run(sys.String(), func(b *testing.B) {
+			var r system.Results
+			for i := 0; i < b.N; i++ {
+				r = runWorkload(b, "stream", "stride=64", sys)
+			}
+			b.ReportMetric(float64(r.Cycles), "cycles")
+			b.ReportMetric(float64(r.TotalPkts), "packets")
+		})
+	}
+}
+
+// BenchmarkSyntheticPtrchase runs the guarded pointer-chase registry
+// workload on every system — the latency/filter-bound synthetic point of
+// the perf trajectory.
+func BenchmarkSyntheticPtrchase(b *testing.B) {
+	for _, sys := range benchSystems {
+		b.Run(sys.String(), func(b *testing.B) {
+			var r system.Results
+			for i := 0; i < b.N; i++ {
+				r = runWorkload(b, "ptrchase", "hot_pct=50", sys)
+			}
+			b.ReportMetric(float64(r.Cycles), "cycles")
+			b.ReportMetric(r.FilterHitRatio*100, "filterHit(%)")
+		})
+	}
+}
+
 // BenchmarkAblationFilterSize sweeps the per-core filter capacity on IS
 // (DESIGN.md Ablation A) and reports the hit-ratio spread.
 func BenchmarkAblationFilterSize(b *testing.B) {

@@ -13,6 +13,8 @@
 //	experiments -cores 16 -scale tiny -workers 8   # quick parallel pass
 //	experiments -set mem_latency=200               # every exhibit, slower DRAM
 //	experiments -sweep l1d_size=16384,32768,65536  # custom axis sweep (CSV)
+//	experiments -workload stream -wsweep stride=8,64,512  # workload-param sweep
+//	experiments -workloads                         # list the workload catalog
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/compiler"
 	"repro/internal/config"
 	"repro/internal/noc"
 	"repro/internal/report"
@@ -35,21 +38,32 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-// runCustomSweep expands -sweep axes over every benchmark on the hybrid
-// system and prints the per-knob-column CSV — design-space exploration
-// beyond the paper's fixed exhibits.
-func runCustomSweep(ctx context.Context, cores int, scale workloads.Scale,
-	base config.Overrides, sweeps []string, opt runner.Options, outPath, outFormat string) {
+// runCustomSweep expands -sweep knob axes and -wsweep workload-parameter
+// axes on the hybrid system — over every registered workload, or just the
+// -workload spelling when given — and prints the per-column CSV:
+// design-space exploration beyond the paper's fixed exhibits.
+func runCustomSweep(ctx context.Context, workload string, cores int, scale workloads.Scale,
+	base config.Overrides, sweeps, wsweeps []string, opt runner.Options, outPath, outFormat string) {
 	axes, err := runner.ParseKnobAxes(sweeps)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	waxes, err := runner.ParseParamAxes(wsweeps)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var benches []string
+	if workload != "" {
+		benches = []string{workload}
+	}
 	specs, err := runner.Axes{
-		Systems: []config.MemorySystem{config.HybridReal},
-		Scale:   scale,
-		Cores:   cores,
-		Base:    base,
-		Knobs:   axes,
+		Benchmarks: benches,
+		Systems:    []config.MemorySystem{config.HybridReal},
+		Scale:      scale,
+		Cores:      cores,
+		Base:       base,
+		Knobs:      axes,
+		WParams:    waxes,
 	}.Specs()
 	if err != nil {
 		fatalf("%v", err)
@@ -88,10 +102,18 @@ func main() {
 	format := flag.String("format", "", "output format for -out: csv, json or jsonl (default: from the file extension)")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per host CPU)")
 	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this much wall-clock (0 = unlimited)")
-	var sets, sweeps runner.MultiFlag
+	workloadFlag := flag.String("workload", "", "narrow the custom sweep to one workload spelling name[:param=value,...] (see -workloads)")
+	listWorkloads := flag.Bool("workloads", false, "list the workload catalog (names, params, defaults) and exit")
+	var sets, sweeps, wsweeps runner.MultiFlag
 	flag.Var(&sets, "set", "override one machine knob on every run, name=value (repeatable; cores=N wins over -cores)")
-	flag.Var(&sweeps, "sweep", "run ONLY a custom knob sweep over the benchmarks on the hybrid system, name=v1,v2,... (repeatable; prints a per-knob CSV and honors -out csv/json)")
+	flag.Var(&sweeps, "sweep", "run ONLY a custom knob sweep over the workloads on the hybrid system, name=v1,v2,... (repeatable; prints a per-column CSV and honors -out csv/json)")
+	flag.Var(&wsweeps, "wsweep", "run ONLY a custom workload-parameter sweep, name=v1,v2,... (repeatable; combine with -workload)")
 	flag.Parse()
+
+	if *listWorkloads {
+		report.WorkloadCatalog(os.Stdout)
+		return
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -121,15 +143,18 @@ func main() {
 			fatalf("unknown format %q (want one of %v)", outFormat, report.Formats())
 		}
 	}
-	if len(sweeps) > 0 {
+	if len(sweeps) > 0 || len(wsweeps) > 0 {
 		if *only != "" && *only != "sweep" {
-			fatalf("-sweep runs its own exhibit and cannot combine with -only %q", *only)
+			fatalf("-sweep/-wsweep run their own exhibit and cannot combine with -only %q", *only)
 		}
 		if outFormat == "jsonl" {
 			fatalf("-sweep supports csv and json sinks, not jsonl")
 		}
-		runCustomSweep(ctx, *cores, scale, overrides, sweeps, opt, *outPath, outFormat)
+		runCustomSweep(ctx, *workloadFlag, *cores, scale, overrides, sweeps, wsweeps, opt, *outPath, outFormat)
 		return
+	}
+	if *workloadFlag != "" {
+		fatalf("-workload narrows a custom -sweep/-wsweep exhibit; the paper's figures always run the NAS six")
 	}
 	want := func(name string) bool { return *only == "" || *only == name }
 
@@ -142,7 +167,13 @@ func main() {
 		fmt.Println()
 	}
 	if want("table2") {
-		report.Table2(os.Stdout, workloads.All(scale))
+		// Table 2 is the paper's exhibit: the NAS six. The synthetic
+		// generators are listed by -workloads and characterized on demand.
+		var benches []*compiler.Benchmark
+		for _, n := range workloads.NAS() {
+			benches = append(benches, workloads.Build(n, scale))
+		}
+		report.Table2(os.Stdout, benches)
 		fmt.Println()
 	}
 
@@ -164,7 +195,7 @@ func main() {
 	var all []system.Results
 
 	if needsRuns {
-		names := workloads.Names()
+		names := workloads.NAS()
 		specs, err := runner.Axes{
 			Benchmarks: names,
 			Systems:    runner.AllSystems,

@@ -6,12 +6,18 @@
 //	hybridsim -bench CG -system hybrid -cores 64 -scale small
 //	hybridsim -bench CG -system hybrid -set l1d_size=65536 -set mem_latency=200
 //	hybridsim -bench IS -system hybrid -sweep filter_entries=16,32,48,64 -csv
+//	hybridsim -workload stream:stride=128 -sweep cores=4,8
+//	hybridsim -workload ptrchase -wsweep hot_pct=0,25,50,75,100
+//	hybridsim -workloads
 //
 // Systems: cache (baseline, 64KB L1D), hybrid (SPMs + the paper's coherence
 // protocol), ideal (SPMs + oracle coherence). Every machine knob of
-// config.Config can be overridden by name with -set (see config.Knobs);
-// repeatable -sweep flags turn the invocation into an axis sweep printed as
-// a per-knob-column CSV.
+// config.Config can be overridden by name with -set (see config.Knobs), and
+// every workload of the registry — the paper's NAS six plus the
+// parameterized synthetic generators (-workloads lists them) — is
+// addressable as "-workload name:param=value,...". Repeatable -sweep
+// (machine knobs) and -wsweep (workload parameters) flags turn the
+// invocation into an axis sweep printed as a per-column CSV.
 package main
 
 import (
@@ -30,7 +36,8 @@ import (
 )
 
 func main() {
-	benchName := flag.String("bench", "CG", "benchmark: CG, EP, FT, IS, MG, SP")
+	benchName := flag.String("bench", "CG", "benchmark name (see -workloads)")
+	workloadFlag := flag.String("workload", "", "workload spelling name[:param=value,...] — overrides -bench (see -workloads)")
 	sysName := flag.String("system", "hybrid", "machine: cache, hybrid, ideal")
 	cores := flag.Int("cores", 64, "core count (square-ish mesh is chosen automatically)")
 	scaleName := flag.String("scale", "small", "workload scale: tiny, small")
@@ -39,11 +46,18 @@ func main() {
 	maxEvents := flag.Uint64("max-events", 0, "abort after this many simulation events (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this much wall-clock (0 = unlimited)")
 	listKnobs := flag.Bool("knobs", false, "list every -set/-sweep machine knob with its default and exit")
-	var sets, sweeps runner.MultiFlag
+	listWorkloads := flag.Bool("workloads", false, "list the workload catalog (names, params, defaults) and exit")
+	var sets, sweeps, wsweeps runner.MultiFlag
 	flag.Var(&sets, "set", "override one machine knob, name=value (repeatable; cores=N wins over -cores)")
-	flag.Var(&sweeps, "sweep", "sweep one machine knob, name=v1,v2,... (repeatable; prints a per-knob CSV)")
-	workers := flag.Int("workers", 0, "parallel simulations for -sweep (0 = one per host CPU)")
+	flag.Var(&sweeps, "sweep", "sweep one machine knob, name=v1,v2,... (repeatable; prints a per-column CSV)")
+	flag.Var(&wsweeps, "wsweep", "sweep one workload parameter, name=v1,v2,... (repeatable; prints a per-column CSV)")
+	workers := flag.Int("workers", 0, "parallel simulations for -sweep/-wsweep (0 = one per host CPU)")
 	flag.Parse()
+
+	if *listWorkloads {
+		report.WorkloadCatalog(os.Stdout)
+		return
+	}
 
 	sys, err := config.ParseMemorySystem(*sysName)
 	if err != nil {
@@ -86,6 +100,18 @@ func main() {
 	}
 	*cores = runner.CoresFlag(overrides, *cores)
 
+	// -workload carries an optional parameter payload; a bare -bench is the
+	// parameterless spelling of the same thing.
+	spelling := *benchName
+	if *workloadFlag != "" {
+		spelling = *workloadFlag
+	}
+	bench, params, err := workloads.ParseWorkload(spelling)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -93,14 +119,16 @@ func main() {
 		defer cancel()
 	}
 
-	if len(sweeps) > 0 {
-		runSweep(ctx, sys, *benchName, scale, *cores, *maxEvents, overrides, sweeps, *workers)
+	if len(sweeps) > 0 || len(wsweeps) > 0 {
+		runSweep(ctx, sys, workloads.FormatWorkload(bench, params), scale,
+			*cores, *maxEvents, overrides, sweeps, wsweeps, *workers)
 		return
 	}
 
 	spec := system.Spec{
 		System:    sys,
-		Benchmark: *benchName,
+		Benchmark: bench,
+		Params:    workloads.FormatParams(bench, params),
 		Scale:     scale,
 		Overrides: overrides,
 		Cores:     *cores,
@@ -118,6 +146,13 @@ func main() {
 	}
 
 	fmt.Printf("%s on %s (%d cores, %s scale)\n", r.Benchmark, r.System, spec.Config().Cores, scale)
+	if diff, ok := spec.ParamDiff(); ok && len(diff) > 0 {
+		fmt.Print("  workload params ")
+		for _, pv := range diff {
+			fmt.Printf(" %s=%d", pv.Name, pv.Value)
+		}
+		fmt.Println()
+	}
 	if diff := spec.KnobDiff(); len(diff) > 0 {
 		fmt.Print("  overrides       ")
 		for _, kv := range diff {
@@ -149,23 +184,30 @@ func main() {
 	}
 }
 
-// runSweep expands -sweep axes over the selected benchmark and system and
-// prints the per-knob-column CSV (report.SweepCSV).
-func runSweep(ctx context.Context, sys config.MemorySystem, bench string, scale workloads.Scale,
-	cores int, maxEvents uint64, base config.Overrides, sweeps []string, workers int) {
+// runSweep expands -sweep knob axes and -wsweep workload-parameter axes
+// over the selected workload and system and prints the per-column CSV
+// (report.SweepCSV).
+func runSweep(ctx context.Context, sys config.MemorySystem, workload string, scale workloads.Scale,
+	cores int, maxEvents uint64, base config.Overrides, sweeps, wsweeps []string, workers int) {
 	axes, err := runner.ParseKnobAxes(sweeps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	waxes, err := runner.ParseParamAxes(wsweeps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	specs, err := runner.Axes{
-		Benchmarks: []string{bench},
+		Benchmarks: []string{workload},
 		Systems:    []config.MemorySystem{sys},
 		Scale:      scale,
 		Cores:      cores,
 		MaxEvents:  maxEvents,
 		Base:       base,
 		Knobs:      axes,
+		WParams:    waxes,
 	}.Specs()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

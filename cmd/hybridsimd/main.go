@@ -11,9 +11,12 @@
 //
 //	hybridsimd -client http://127.0.0.1:8080 -bench CG -system hybrid -scale tiny -cores 4
 //	hybridsimd -client http://127.0.0.1:8080 -bench CG -set l1d_size=65536
+//	hybridsimd -client http://127.0.0.1:8080 -workload stream:stride=128 -scale tiny -cores 4
 //	hybridsimd -client http://127.0.0.1:8080 -sweep -scale tiny -cores 4
 //	hybridsimd -client http://127.0.0.1:8080 -sweep=filter_entries=16,32,48 -scale tiny -cores 4
+//	hybridsimd -client http://127.0.0.1:8080 -workload ptrchase -wsweep=hot_pct=0,50,100 -scale tiny -cores 4
 //	hybridsimd -client http://127.0.0.1:8080 -stats
+//	hybridsimd -workloads
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/report"
 	"repro/internal/rescache"
 	"repro/internal/runner"
 	"repro/internal/service"
@@ -51,16 +55,24 @@ func main() {
 	// Client-mode flags.
 	client := flag.String("client", "", "client mode: base URL of a running daemon")
 	benchName := flag.String("bench", "CG", "client mode: benchmark to run")
+	workloadFlag := flag.String("workload", "", "client mode: workload spelling name[:param=value,...] — overrides -bench (see -workloads)")
 	sysName := flag.String("system", "hybrid", "client mode: machine (cache, hybrid, ideal)")
 	scaleName := flag.String("scale", "tiny", "client mode: workload scale")
 	cores := flag.Int("cores", 4, "client mode: core count (0 = Table 1 default)")
 	var sweep sweepFlag
-	flag.Var(&sweep, "sweep", "client mode: stream the benchmark x system matrix instead of one run; -sweep=knob=v1,v2,... also sweeps a machine knob (repeatable)")
+	flag.Var(&sweep, "sweep", "client mode: stream the workload x system matrix instead of one run; -sweep=knob=v1,v2,... also sweeps a machine knob (repeatable)")
+	var wsweeps runner.MultiFlag
+	flag.Var(&wsweeps, "wsweep", "client mode: sweep one workload parameter, name=v1,v2,... (repeatable; implies -sweep)")
 	stats := flag.Bool("stats", false, "client mode: print daemon stats and exit")
 	timeout := flag.Duration("timeout", 0, "client mode: per-request deadline forwarded to the daemon (0 = none)")
 	var sets runner.MultiFlag
 	flag.Var(&sets, "set", "client mode: override one machine knob, name=value (repeatable; cores=N wins over -cores)")
+	listWorkloads := flag.Bool("workloads", false, "list the workload catalog (names, params, defaults) and exit")
 	flag.Parse()
+	if *listWorkloads {
+		report.WorkloadCatalog(os.Stdout)
+		return
+	}
 	if flag.NArg() != 0 {
 		// -sweep is a bool-style flag, so a space-separated payload
 		// ("-sweep knob=v1,v2") would land here as a positional argument and
@@ -69,11 +81,15 @@ func main() {
 	}
 
 	if *client != "" {
-		// A sweep defaults to the full benchmark x system matrix; flags the
-		// user explicitly passed narrow it.
+		// A sweep defaults to the full workload x system matrix; flags the
+		// user explicitly passed narrow it. -wsweep axes need a sweep to
+		// ride on.
+		if len(wsweeps) > 0 {
+			sweep.enabled = true
+		}
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		runClient(*client, *benchName, *sysName, *scaleName, *cores, sweep, *stats, *timeout, sets, explicit)
+		runClient(*client, *benchName, *workloadFlag, *sysName, *scaleName, *cores, sweep, wsweeps, *stats, *timeout, sets, explicit)
 		return
 	}
 	serve(*addr, *workers, *queue, *cacheEntries, *cacheDir)
@@ -135,13 +151,22 @@ func serve(addr string, workers, queue, cacheEntries int, cacheDir string) {
 
 // runClient executes one client-mode action against a running daemon.
 // explicit records which flags the user actually passed (flag.Visit).
-func runClient(base, benchName, sysName, scaleName string, cores int, sweep sweepFlag, stats bool, timeout time.Duration, sets []string, explicit map[string]bool) {
+func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores int, sweep sweepFlag, wsweeps []string, stats bool, timeout time.Duration, sets []string, explicit map[string]bool) {
 	c := &service.Client{Base: base}
 	ctx := context.Background()
 	if err := c.Healthz(ctx); err != nil {
 		fatalf("daemon not healthy: %v", err)
 	}
 	overrides, err := config.ParseOverrides(sets)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// -workload overrides -bench and may carry a parameter payload.
+	spelling := benchName
+	if workloadFlag != "" {
+		spelling = workloadFlag
+	}
+	bench, params, err := workloads.ParseWorkload(spelling)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -169,9 +194,13 @@ func runClient(base, benchName, sysName, scaleName string, cores int, sweep swee
 		if err != nil {
 			fatalf("%v", err)
 		}
-		m := service.Matrix{Scale: scaleName, Cores: cores, Sweep: axes}
-		if explicit["bench"] {
-			m.Benchmarks = []string{benchName}
+		waxes, err := runner.ParseParamAxes(wsweeps)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		m := service.Matrix{Scale: scaleName, Cores: cores, Sweep: axes, WSweep: waxes}
+		if explicit["bench"] || explicit["workload"] {
+			m.Benchmarks = []string{workloads.FormatWorkload(bench, params)}
 		}
 		if explicit["system"] {
 			m.Systems = []string{sysName}
@@ -207,7 +236,8 @@ func runClient(base, benchName, sysName, scaleName string, cores int, sweep swee
 		if err != nil {
 			fatalf("%v", err)
 		}
-		spec := system.Spec{System: sys, Benchmark: benchName, Scale: scale,
+		spec := system.Spec{System: sys, Benchmark: bench,
+			Params: workloads.FormatParams(bench, params), Scale: scale,
 			Cores: runner.CoresFlag(overrides, cores), Overrides: overrides}
 		rec, err := c.Run(ctx, spec, timeout)
 		if err != nil {

@@ -11,19 +11,24 @@
 //
 //	go run ./cmd/experiments -scale tiny -workers 8
 //
-// Sweeps are declarative: a run is a system.Spec value — including a typed
-// config.Overrides that can retarget any machine knob by name (the
-// config.Knobs registry) — and internal/runner fans a []Spec across a
+// Sweeps are declarative: a run is a system.Spec value — a workload from
+// the registry of named, parameterized generators (workloads.Entries: the
+// NAS six plus synthetic stream/stencil/ptrchase/transpose/reduce/gups)
+// and a typed config.Overrides that can retarget any machine knob by name
+// (the config.Knobs registry) — and internal/runner fans a []Spec across a
 // worker pool with byte-identical output for any worker count. runner.Axes
-// enumerates benchmark x system x knob-axis cross products; every CLI
-// spells it as repeatable -set name=value / -sweep name=v1,v2,... flags:
+// enumerates workload x system x knob x workload-param cross products;
+// every CLI spells it as repeatable -set / -sweep / -workload / -wsweep
+// flags:
 //
 //	specs, err := runner.Axes{
-//		Scale: workloads.Small,
-//		Knobs: []runner.KnobAxis{{Name: "l1d_size", Values: []int{16384, 32768}}},
+//		Benchmarks: []string{"stream:streams=4"},
+//		Scale:      workloads.Small,
+//		Knobs:      []runner.KnobAxis{{Name: "l1d_size", Values: []int{16384, 32768}}},
+//		WParams:    []runner.ParamAxis{{Name: "stride", Values: []int{8, 128}}},
 //	}.Specs()
 //	results, err := runner.Collect(runner.Run(specs, runner.Options{Workers: 8}))
-//	report.SweepCSV(os.Stdout, specs, results) // one column per swept knob
+//	report.SweepCSV(os.Stdout, specs, results) // one column per swept knob and param
 //
 // Because a run is a pure function of its Spec, results memoize safely:
 // cmd/hybridsimd serves the same core over HTTP behind a content-addressed

@@ -8,6 +8,9 @@
 // flags build the cross product and the results print as a per-knob-column
 // CSV (report.SweepCSV), one column per swept axis — self-describing
 // tables, no opaque key strings. -set fixes additional knobs on every run.
+// The workload axis is just as open: -workload picks any registry workload
+// (with optional "name:param=value" parameters; -workloads lists the
+// catalog) and repeatable -wsweep flags sweep its declared parameters.
 //
 // Each sweep point is one declarative system.Spec. By default the runner
 // fans them out across local worker goroutines (output is byte-identical
@@ -18,6 +21,8 @@
 //	go run ./examples/sweep -workers 8
 //	go run ./examples/sweep -sweep filter_entries=16,32,48,64
 //	go run ./examples/sweep -sweep l1d_size=16384,32768 -sweep prefetch_degree=1,2,4
+//	go run ./examples/sweep -workload stream -wsweep stride=8,64,512
+//	go run ./examples/sweep -workload ptrchase:footprint=4194304 -wsweep hot_pct=0,50,100
 //	go run ./cmd/hybridsimd &
 //	go run ./examples/sweep -daemon http://127.0.0.1:8080
 package main
@@ -41,14 +46,22 @@ import (
 func main() {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = one per host CPU)")
 	daemon := flag.String("daemon", "", "run the sweep through a hybridsimd at this base URL instead of locally")
-	var sets, sweeps runner.MultiFlag
+	workloadFlag := flag.String("workload", "IS", "workload spelling name[:param=value,...] for axis sweeps (see -workloads)")
+	listWorkloads := flag.Bool("workloads", false, "list the workload catalog and exit")
+	var sets, sweeps, wsweeps runner.MultiFlag
 	flag.Var(&sets, "set", "fix one machine knob on every run, name=value (repeatable)")
-	flag.Var(&sweeps, "sweep", "sweep one machine knob, name=v1,v2,... (repeatable; prints a per-knob CSV)")
+	flag.Var(&sweeps, "sweep", "sweep one machine knob, name=v1,v2,... (repeatable; prints a per-column CSV)")
+	flag.Var(&wsweeps, "wsweep", "sweep one workload parameter, name=v1,v2,... (repeatable; prints a per-column CSV)")
 	flag.Parse()
 
+	if *listWorkloads {
+		report.WorkloadCatalog(os.Stdout)
+		return
+	}
+
 	const cores = 16
-	if len(sweeps) > 0 {
-		runAxisSweep(*workers, *daemon, cores, sets, sweeps)
+	if len(sweeps) > 0 || len(wsweeps) > 0 {
+		runAxisSweep(*workers, *daemon, *workloadFlag, cores, sets, sweeps, wsweeps)
 		return
 	}
 
@@ -81,10 +94,11 @@ func main() {
 	fmt.Println("the guarded working set fits; Table 1's 48 entries sit at the knee.")
 }
 
-// runAxisSweep expands the -sweep axes on IS/hybrid and emits the
-// per-knob-column CSV on stdout. Results arrive in input order whatever the
-// worker count, so the CSV is byte-identical for any -workers N.
-func runAxisSweep(workers int, daemon string, cores int, sets, sweeps []string) {
+// runAxisSweep expands the -sweep knob axes and -wsweep workload-parameter
+// axes on the -workload spelling (hybrid system) and emits the per-column
+// CSV on stdout. Results arrive in input order whatever the worker count,
+// so the CSV is byte-identical for any -workers N.
+func runAxisSweep(workers int, daemon, workload string, cores int, sets, sweeps, wsweeps []string) {
 	base, err := config.ParseOverrides(sets)
 	if err != nil {
 		log.Fatal(err)
@@ -93,13 +107,18 @@ func runAxisSweep(workers int, daemon string, cores int, sets, sweeps []string) 
 	if err != nil {
 		log.Fatal(err)
 	}
+	waxes, err := runner.ParseParamAxes(wsweeps)
+	if err != nil {
+		log.Fatal(err)
+	}
 	specs, err := runner.Axes{
-		Benchmarks: []string{"IS"},
+		Benchmarks: []string{workload},
 		Systems:    []config.MemorySystem{config.HybridReal},
 		Scale:      workloads.Small,
 		Cores:      cores,
 		Base:       base,
 		Knobs:      axes,
+		WParams:    waxes,
 	}.Specs()
 	if err != nil {
 		log.Fatal(err)

@@ -121,7 +121,20 @@ func refAddr(r *Ref, it int, opt *GenOptions, rnd *rng) uint64 {
 	case Strided:
 		// Sparse strided refs (Every > 1) traverse a compacted section:
 		// one element per Every iterations.
-		return r.Array.Base + uint64(it/r.every())*elemBytes
+		j := uint64(it / r.every())
+		st := uint64(r.stride())
+		if st == elemBytes {
+			return r.Array.Base + j*elemBytes
+		}
+		// Non-unit stride: hop st bytes per element and wrap column-major
+		// once past the array's end (the j-th element of a transpose's
+		// write stream). period is the number of hops per pass; each
+		// completed pass shifts the lane by one dense element.
+		period := uint64(r.Array.Size) / st
+		if period == 0 {
+			return r.Array.Base + j*elemBytes // stride wider than the array
+		}
+		return r.Array.Base + (j%period)*st + (j/period)*elemBytes
 	case Stack:
 		// Cycle within a 4 KB frame: high L1 locality.
 		return opt.StackBase + uint64(it*16)%4096

@@ -383,3 +383,47 @@ func TestTilePartitionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestNonUnitStrideClassifiesGM: wider-than-element strides are never SPM
+// candidates (the runtime's DMA moves contiguous chunks only).
+func TestNonUnitStrideClassifiesGM(t *testing.T) {
+	arr := &Array{Name: "a", Base: 0x1000, Size: 1 << 16}
+	dense := Ref{Name: "d", Array: arr, Pattern: Strided}
+	explicit := Ref{Name: "e", Array: arr, Pattern: Strided, Stride: 8}
+	wide := Ref{Name: "w", Array: arr, Pattern: Strided, Stride: 64}
+	if Classify(&dense) != ClassSPM || Classify(&explicit) != ClassSPM {
+		t.Fatal("unit-stride refs must stay SPM candidates")
+	}
+	if Classify(&wide) != ClassGM {
+		t.Fatal("non-unit-stride ref must classify GM")
+	}
+}
+
+// TestStridedWrapTraversalCoversArrayOnce pins the column-major wrap rule:
+// a stride-S traversal of an N-byte array visits every element exactly once
+// before repeating — the address stream of a matrix transpose's writes.
+func TestStridedWrapTraversalCoversArrayOnce(t *testing.T) {
+	const rows, cols = 4, 8
+	arr := &Array{Name: "out", Base: 0x1000, Size: rows * cols * 8}
+	r := Ref{Name: "w", Array: arr, Pattern: Strided, Stride: rows * 8}
+	opt := GenOptions{Cores: 1}
+	var rnd rng
+	seen := map[uint64]int{}
+	for it := 0; it < rows*cols; it++ {
+		a := refAddr(&r, it, &opt, &rnd)
+		if a < arr.Base || a >= arr.Base+uint64(arr.Size) {
+			t.Fatalf("it %d: address %#x outside the array", it, a)
+		}
+		if a%8 != 0 {
+			t.Fatalf("it %d: misaligned address %#x", it, a)
+		}
+		seen[a]++
+	}
+	if len(seen) != rows*cols {
+		t.Fatalf("traversal touched %d distinct elements, want %d", len(seen), rows*cols)
+	}
+	// The first wrap lands one dense element after the stream's start.
+	if a := refAddr(&r, cols, &opt, &rnd); a != arr.Base+8 {
+		t.Fatalf("first wrap at %#x, want %#x", a, arr.Base+8)
+	}
+}

@@ -84,6 +84,15 @@ type Ref struct {
 	Pattern Pattern
 	IsWrite bool
 
+	// Stride is the byte distance between consecutively touched elements
+	// of a Strided reference (0 means the dense unit stride of 8 bytes).
+	// Non-unit strides wrap column-major once they pass the array's end —
+	// the traversal of a matrix transpose — and are never SPM candidates:
+	// the runtime's DMA moves contiguous chunks only, so a strided-but-
+	// sparse reference streams through the cache hierarchy instead
+	// (Classify returns ClassGM).
+	Stride int
+
 	// MayAliasSPM is the alias-analysis verdict for Random references:
 	// true means the compiler could not prove the reference independent
 	// of the SPM-mapped sections, so it must be guarded.
@@ -105,6 +114,14 @@ func (r *Ref) every() int {
 		return 1
 	}
 	return r.Every
+}
+
+// stride returns the byte stride, defaulting to the dense element size.
+func (r *Ref) stride() int {
+	if r.Stride <= 0 {
+		return elemBytes
+	}
+	return r.Stride
 }
 
 // Kernel is one parallel loop (fork-join): Iters iterations distributed
@@ -130,6 +147,11 @@ type Benchmark struct {
 func Classify(r *Ref) Class {
 	switch r.Pattern {
 	case Strided:
+		if r.stride() > elemBytes {
+			// Non-unit strides leave most of each DMA chunk unused, so
+			// the compiler keeps them out of the SPMs (see Ref.Stride).
+			return ClassGM
+		}
 		return ClassSPM
 	case Stack:
 		return ClassGM // provably thread-private, never SPM-mapped

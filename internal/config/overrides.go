@@ -2,6 +2,7 @@ package config
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -239,6 +240,38 @@ func ConfigDiff(cfg, base Config) []KnobValue {
 	return out
 }
 
+// ParseValue parses one knob or workload-parameter value: a plain integer
+// ("4096"), a binary size suffix ("64k", "2m", "1g"), or integral
+// scientific notation ("1e6"). Every value surface — -set, -sweep,
+// -workload, -wsweep, and their query-parameter twins — accepts exactly
+// this grammar, so a spelling that works on one flag works on all.
+func ParseValue(s string) (int, error) {
+	if v, err := strconv.Atoi(s); err == nil {
+		return v, nil
+	}
+	if n := len(s); n > 1 {
+		shift := 0
+		switch s[n-1] {
+		case 'k', 'K':
+			shift = 10
+		case 'm', 'M':
+			shift = 20
+		case 'g', 'G':
+			shift = 30
+		}
+		if shift > 0 {
+			if v, err := strconv.Atoi(s[:n-1]); err == nil {
+				return v << shift, nil
+			}
+		}
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil && f == math.Trunc(f) &&
+		f >= math.MinInt32 && f <= math.MaxInt32 {
+		return int(f), nil
+	}
+	return 0, fmt.Errorf("not an integer (plain, k/m/g-suffixed, or integral scientific)")
+}
+
 // ParseAssignment parses one "name=value" string, the payload of a -set
 // flag or a ?set= query parameter.
 func ParseAssignment(s string) (name string, value int, err error) {
@@ -246,7 +279,7 @@ func ParseAssignment(s string) (name string, value int, err error) {
 	if !ok || name == "" {
 		return "", 0, fmt.Errorf("config: bad assignment %q (want name=value)", s)
 	}
-	v, err := strconv.Atoi(strings.TrimSpace(raw))
+	v, err := ParseValue(strings.TrimSpace(raw))
 	if err != nil {
 		return "", 0, fmt.Errorf("config: bad value in %q: %w", s, err)
 	}

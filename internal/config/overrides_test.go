@@ -179,3 +179,19 @@ func TestValidateRejectsDegenerateCapacities(t *testing.T) {
 		}
 	}
 }
+
+// TestParseValueGrammarSharedWithSet: the -set flag accepts the same value
+// spellings as every sweep axis (plain, k/m/g suffixes, integral
+// scientific) — one grammar for every surface.
+func TestParseValueGrammarSharedWithSet(t *testing.T) {
+	ov, err := ParseOverrides([]string{"l1d_size=64k", "mem_latency=1e2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.L1DSize != 64<<10 || ov.MemLatency != 100 {
+		t.Fatalf("suffixed -set values parsed as %+v", ov)
+	}
+	if _, err := ParseOverrides([]string{"l1d_size=64q"}); err == nil {
+		t.Fatal("ParseOverrides accepted a bogus suffix")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/noc"
 	"repro/internal/system"
+	"repro/internal/workloads"
 )
 
 // Table1 prints the machine description (paper Table 1).
@@ -42,6 +43,28 @@ func Table1(w io.Writer, cfg config.Config) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "  %-12s %s\n", r[0], r[1])
 	}
+}
+
+// WorkloadCatalog prints the workload registry — every generator with its
+// description and typed parameter set — the payload of the binaries'
+// -workloads flag.
+func WorkloadCatalog(w io.Writer) {
+	fmt.Fprintln(w, "workloads (spell as name or name:param=value,param=value,...):")
+	for _, e := range workloads.Entries() {
+		tag := " "
+		if e.NAS {
+			tag = "*"
+		}
+		fmt.Fprintf(w, "  %s %-10s %s\n", tag, e.Name, e.Desc)
+		for _, p := range e.Params {
+			bounds := fmt.Sprintf("%d..", p.Min)
+			if p.Max > 0 {
+				bounds = fmt.Sprintf("%d..%d", p.Min, p.Max)
+			}
+			fmt.Fprintf(w, "      %-12s default %-10d [%s] %s\n", p.Name, p.Default, bounds, p.Desc)
+		}
+	}
+	fmt.Fprintln(w, "  (* = NAS kernel of the paper's Table 2, parameterless)")
 }
 
 // Table2 prints the benchmark characterization (paper Table 2).
@@ -202,6 +225,25 @@ func sweepKnobColumns(specs []system.Spec) []string {
 	return cols
 }
 
+// sweepParamColumns returns the union of the workload parameters the given
+// specs override, ordered by first appearance walking each spec's diff (its
+// workload's declaration order) — the per-axis workload columns of a sweep
+// table.
+func sweepParamColumns(specs []system.Spec) []string {
+	var cols []string
+	seen := map[string]bool{}
+	for _, s := range specs {
+		diff, _ := s.ParamDiff()
+		for _, pv := range diff {
+			if !seen[pv.Name] {
+				seen[pv.Name] = true
+				cols = append(cols, pv.Name)
+			}
+		}
+	}
+	return cols
+}
+
 // resultFields renders the measurement columns shared by CSV and SweepCSV.
 func resultFields(r system.Results) []string {
 	return []string{
@@ -232,23 +274,34 @@ func resultFields(r system.Results) []string {
 const resultHeader = "cycles,ctrl,sync,work,pkts,ifetch,read,write,wbrepl,dma,cohprot,energy_total,energy_cpus,energy_caches,energy_noc,energy_others,energy_spms,energy_cohprot,filter_hit,retired,flushes"
 
 // SweepCSV emits one line per run of an axis sweep with one column per
-// swept knob (the union of every Spec's non-default knobs, from
-// Spec.KnobDiff, in registry order) — a self-describing table instead of
-// opaque Key strings. A knob a given run leaves at its default renders as
-// the resolved default value, so every cell is a concrete machine
-// parameter.
+// swept workload parameter (the union of every Spec's non-default params,
+// from Spec.ParamDiff, in declaration order) and one per swept knob (the
+// union of every Spec's non-default knobs, from Spec.KnobDiff, in registry
+// order) — a self-describing table instead of opaque Key strings. A knob or
+// parameter a given run leaves at its default renders as the resolved
+// default value, so every cell is a concrete run parameter; a parameter a
+// run's workload does not declare renders empty.
 func SweepCSV(w io.Writer, specs []system.Spec, results []system.Results) error {
 	if len(specs) != len(results) {
 		return fmt.Errorf("report: %d specs for %d results", len(specs), len(results))
 	}
 	ew := &errWriter{w: w}
+	paramCols := sweepParamColumns(specs)
 	cols := sweepKnobColumns(specs)
 	header := []string{"benchmark", "system", "scale"}
+	header = append(header, paramCols...)
 	header = append(header, cols...)
 	fmt.Fprintln(ew, strings.Join(header, ",")+","+resultHeader)
 	for i, s := range specs {
 		cfg := s.Config()
 		fields := []string{s.Benchmark, s.System.String(), s.Scale.String()}
+		for _, name := range paramCols {
+			if v, ok := s.ResolvedParam(name); ok {
+				fields = append(fields, fmt.Sprint(v))
+			} else {
+				fields = append(fields, "")
+			}
+		}
 		for _, name := range cols {
 			k, _ := config.KnobByName(name)
 			fields = append(fields, fmt.Sprint(*k.Field(&cfg)))
@@ -259,16 +312,17 @@ func SweepCSV(w io.Writer, specs []system.Spec, results []system.Results) error 
 	return ew.err
 }
 
-// SweepRow is one run of SweepJSON: the Spec, its non-default knobs as a
-// name->value map, and the measurements.
+// SweepRow is one run of SweepJSON: the Spec, its non-default workload
+// params and machine knobs as name->value maps, and the measurements.
 type SweepRow struct {
 	Spec    system.Spec    `json:"spec"`
+	Params  map[string]int `json:"params,omitempty"`
 	Knobs   map[string]int `json:"knobs,omitempty"`
 	Results system.Results `json:"results"`
 }
 
 // SweepJSON is the JSON sibling of SweepCSV: an indented array of rows,
-// each carrying its swept knobs explicitly.
+// each carrying its swept workload params and knobs explicitly.
 func SweepJSON(w io.Writer, specs []system.Spec, results []system.Results) error {
 	if len(specs) != len(results) {
 		return fmt.Errorf("report: %d specs for %d results", len(specs), len(results))
@@ -276,6 +330,12 @@ func SweepJSON(w io.Writer, specs []system.Spec, results []system.Results) error
 	rows := make([]SweepRow, len(specs))
 	for i, s := range specs {
 		rows[i] = SweepRow{Spec: s, Results: results[i]}
+		if diff, ok := s.ParamDiff(); ok && len(diff) > 0 {
+			rows[i].Params = make(map[string]int, len(diff))
+			for _, pv := range diff {
+				rows[i].Params[pv.Name] = pv.Value
+			}
+		}
 		if diff := s.KnobDiff(); len(diff) > 0 {
 			rows[i].Knobs = make(map[string]int, len(diff))
 			for _, kv := range diff {

@@ -300,3 +300,79 @@ func TestSweepSinksRejectLengthMismatch(t *testing.T) {
 		t.Fatal("SweepJSON accepted mismatched lengths")
 	}
 }
+
+// TestSweepCSVPerParamColumns: every swept workload parameter becomes a
+// named column between the scale and knob columns; a run that leaves the
+// parameter at its default renders the resolved default value, and the
+// workload's fixed parameters appear too.
+func TestSweepCSVPerParamColumns(t *testing.T) {
+	mk := func(params string) system.Spec {
+		return system.Spec{System: config.HybridReal, Benchmark: "stream",
+			Scale: workloads.Tiny, Cores: 4, Params: params}
+	}
+	specs := []system.Spec{mk("streams=2"), mk("stride=128,streams=2")}
+	results := make([]system.Results, len(specs))
+	var buf strings.Builder
+	if err := SweepCSV(&buf, specs, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	header := strings.Split(lines[0], ",")
+	wantPrefix := []string{"benchmark", "system", "scale", "streams", "stride", "cores"}
+	for i, w := range wantPrefix {
+		if header[i] != w {
+			t.Fatalf("header[%d] = %q, want %q (full header %v)", i, header[i], w, header)
+		}
+	}
+	row1 := strings.Split(lines[1], ",")
+	row2 := strings.Split(lines[2], ",")
+	// Row 1 left stride at its default: the cell shows the resolved 8.
+	if got, want := strings.Join(row1[:6], ","), "stream,hybrid,tiny,2,8,4"; got != want {
+		t.Fatalf("row 1 = %v, want %v", got, want)
+	}
+	if got, want := strings.Join(row2[:6], ","), "stream,hybrid,tiny,2,128,4"; got != want {
+		t.Fatalf("row 2 = %v, want %v", got, want)
+	}
+}
+
+// TestSweepJSONCarriesParams: the JSON sink reports each row's non-default
+// workload parameters explicitly.
+func TestSweepJSONCarriesParams(t *testing.T) {
+	specs := []system.Spec{
+		{System: config.HybridReal, Benchmark: "stream", Scale: workloads.Tiny, Cores: 4, Params: "stride=128"},
+		{System: config.HybridReal, Benchmark: "stream", Scale: workloads.Tiny, Cores: 4},
+	}
+	results := make([]system.Results, len(specs))
+	var buf strings.Builder
+	if err := SweepJSON(&buf, specs, results); err != nil {
+		t.Fatal(err)
+	}
+	var rows []SweepRow
+	if err := json.Unmarshal([]byte(buf.String()), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Params["stride"] != 128 {
+		t.Fatalf("rows[0].Params = %v, want stride=128", rows[0].Params)
+	}
+	if len(rows[1].Params) != 0 {
+		t.Fatalf("rows[1].Params = %v, want empty (all defaults)", rows[1].Params)
+	}
+}
+
+// TestWorkloadCatalogListsEveryEntry: the -workloads listing names every
+// registry entry and every declared parameter.
+func TestWorkloadCatalogListsEveryEntry(t *testing.T) {
+	var buf strings.Builder
+	WorkloadCatalog(&buf)
+	out := buf.String()
+	for _, e := range workloads.Entries() {
+		if !strings.Contains(out, e.Name) {
+			t.Errorf("catalog missing workload %s", e.Name)
+		}
+		for _, p := range e.Params {
+			if !strings.Contains(out, p.Name) {
+				t.Errorf("catalog missing %s param %s", e.Name, p.Name)
+			}
+		}
+	}
+}

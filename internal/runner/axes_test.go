@@ -169,3 +169,84 @@ func TestAxesCoresKnobWinsOverLegacyField(t *testing.T) {
 		}
 	}
 }
+
+// TestAxesWorkloadParamAxes pins the workload dimension of the cross
+// product: parameterized spellings fix params on every point, -wsweep axes
+// nest innermost, and axis values override the spelling's fixed params.
+func TestAxesWorkloadParamAxes(t *testing.T) {
+	a := Axes{
+		Benchmarks: []string{"stream:streams=4"},
+		Systems:    []config.MemorySystem{config.HybridReal},
+		Scale:      workloads.Tiny,
+		Cores:      4,
+		Knobs:      []KnobAxis{{Name: "l1d_size", Values: []int{16 << 10, 32 << 10}}},
+		WParams:    []ParamAxis{{Name: "stride", Values: []int{8, 128}}},
+	}
+	specs, err := a.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("cross product = %d specs, want 4", len(specs))
+	}
+	// Param axis is innermost: stride varies fastest.
+	if specs[0].Params != "stride=8,streams=4" || specs[1].Params != "stride=128,streams=4" {
+		t.Fatalf("param expansion wrong: %q then %q", specs[0].Params, specs[1].Params)
+	}
+	if specs[1].Overrides.L1DSize != 16<<10 || specs[2].Overrides.L1DSize != 32<<10 {
+		t.Fatalf("knob axis no longer outer: %+v", specs)
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Benchmark != "stream" {
+			t.Fatalf("spec benchmark = %q", s.Benchmark)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Key(), err)
+		}
+		if seen[s.Hash()] {
+			t.Fatalf("duplicate hash for %s", s.Key())
+		}
+		seen[s.Hash()] = true
+	}
+}
+
+// TestAxesRejectsBadWorkloadAxes: every invalid spelling or axis fails the
+// enumeration before anything is queued.
+func TestAxesRejectsBadWorkloadAxes(t *testing.T) {
+	cases := []Axes{
+		{Scale: workloads.Tiny, Benchmarks: []string{"warp"}},
+		{Scale: workloads.Tiny, Benchmarks: []string{"stream:warp=1"}},
+		{Scale: workloads.Tiny, Benchmarks: []string{"stream"}, WParams: []ParamAxis{{Name: "warp", Values: []int{1}}}},
+		{Scale: workloads.Tiny, Benchmarks: []string{"stream"}, WParams: []ParamAxis{{Name: "stride", Values: nil}}},
+		{Scale: workloads.Tiny, Benchmarks: []string{"stream"}, WParams: []ParamAxis{{Name: "stride", Values: []int{4}}}},
+		{Scale: workloads.Tiny, Benchmarks: []string{"stream"}, WParams: []ParamAxis{
+			{Name: "stride", Values: []int{8}}, {Name: "stride", Values: []int{16}}}},
+		// In range per-value but violating the entry's cross-parameter
+		// Check (stride must be 8-aligned): must fail up front, not after
+		// every valid point of the sweep was simulated.
+		{Scale: workloads.Tiny, Benchmarks: []string{"stream"}, WParams: []ParamAxis{{Name: "stride", Values: []int{8, 12}}}},
+		// A param axis must be declared by EVERY swept workload.
+		{Scale: workloads.Tiny, Benchmarks: []string{"stream", "gups"}, WParams: []ParamAxis{{Name: "stride", Values: []int{8}}}},
+	}
+	for i, a := range cases {
+		if _, err := a.Specs(); err == nil {
+			t.Errorf("case %d: Specs accepted a bad workload axis", i)
+		}
+	}
+}
+
+func TestParseParamAxis(t *testing.T) {
+	ax, err := ParseParamAxis("stride=8,64k, 128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ax.Name != "stride" || !reflect.DeepEqual(ax.Values, []int{8, 64 << 10, 128}) {
+		t.Fatalf("parsed %+v", ax)
+	}
+	for _, bad := range []string{"stride", "=1,2", "stride=", "stride=1,x"} {
+		if _, err := ParseParamAxis(bad); err == nil {
+			t.Errorf("ParseParamAxis accepted %q", bad)
+		}
+	}
+}

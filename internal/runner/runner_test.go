@@ -116,9 +116,14 @@ func TestEmptySweep(t *testing.T) {
 }
 
 func TestMatrixShape(t *testing.T) {
+	// The default matrix covers the whole registry — the count derives
+	// from it, so adding a workload can never silently drift this test.
 	specs := Matrix(workloads.Names(), AllSystems, workloads.Small, 0)
-	if len(specs) != 18 {
-		t.Fatalf("full matrix = %d specs, want 18", len(specs))
+	if want := len(workloads.Names()) * len(AllSystems); len(specs) != want {
+		t.Fatalf("full matrix = %d specs, want %d", len(specs), want)
+	}
+	if nas := Matrix(workloads.NAS(), AllSystems, workloads.Small, 0); len(nas) != 18 {
+		t.Fatalf("paper matrix = %d specs, want 18", len(nas))
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {

@@ -162,7 +162,23 @@ func (c *Client) Sweep(ctx context.Context, m Matrix, timeout time.Duration, eac
 	if m.Cores > 0 {
 		q.Set("cores", strconv.Itoa(m.Cores))
 	}
-	if len(m.Benchmarks) > 0 {
+	// Plain names travel comma-joined in ?benchmarks=. A parameterized
+	// spelling ("stream:stride=128") contains commas of its own, so it
+	// needs the repeatable ?workload= form — and because the server
+	// appends ?workload= entries after the ?benchmarks= list, a mixed
+	// matrix sends EVERY entry through ?workload= to preserve the
+	// caller's enumeration order on the stream.
+	parameterized := false
+	for _, b := range m.Benchmarks {
+		if strings.Contains(b, ":") {
+			parameterized = true
+		}
+	}
+	if parameterized {
+		for _, b := range m.Benchmarks {
+			q.Add("workload", b)
+		}
+	} else if len(m.Benchmarks) > 0 {
 		q.Set("benchmarks", strings.Join(m.Benchmarks, ","))
 	}
 	if len(m.Systems) > 0 {
@@ -180,11 +196,10 @@ func (c *Client) Sweep(ctx context.Context, m Matrix, timeout time.Duration, eac
 		}
 	}
 	for _, ax := range m.Sweep {
-		vals := make([]string, len(ax.Values))
-		for i, v := range ax.Values {
-			vals[i] = strconv.Itoa(v)
-		}
-		q.Add("sweep", ax.Name+"="+strings.Join(vals, ","))
+		q.Add("sweep", axisParam(ax.Name, ax.Values))
+	}
+	for _, ax := range m.WSweep {
+		q.Add("wsweep", axisParam(ax.Name, ax.Values))
 	}
 	if timeout > 0 {
 		q.Set("timeout", timeout.String())
@@ -236,6 +251,15 @@ func (c *Client) Sweep(ctx context.Context, m Matrix, timeout time.Duration, eac
 		return SweepSummary{}, fmt.Errorf("service: sweep stream ended without a summary")
 	}
 	return *sum, nil
+}
+
+// axisParam renders one sweep axis as its "name=v1,v2,..." query payload.
+func axisParam(name string, values []int) string {
+	vals := make([]string, len(values))
+	for i, v := range values {
+		vals[i] = strconv.Itoa(v)
+	}
+	return name + "=" + strings.Join(vals, ",")
 }
 
 // Stats fetches the daemon counters.

@@ -5,14 +5,19 @@
 //
 //	POST /v1/runs            submit one Spec, a list, or a matrix enumeration
 //	                         (?wait=true blocks for results, ?timeout=30s
-//	                         bounds the submitted work); specs and matrices
-//	                         may carry machine-knob "overrides" and matrices
-//	                         per-knob "sweep" axes (config.Knobs registry)
+//	                         bounds the submitted work); specs carry workload
+//	                         "params" and machine-knob "overrides"; matrices
+//	                         add per-knob "sweep" axes (config.Knobs
+//	                         registry) and per-workload-parameter "wsweep"
+//	                         axes (workloads registry)
 //	GET  /v1/runs/{key}      poll one run by its canonical Spec.Hash
-//	GET  /v1/sweep           run a benchmark x system x knob-axis matrix and
-//	                         stream one JSON line per completed run
+//	GET  /v1/sweep           run a workload x system x knob x param matrix
+//	                         and stream one JSON line per completed run
 //	                         (?set=knob=value fixes a knob on every run,
-//	                         ?sweep=knob=v1,v2,... adds an axis; both repeat)
+//	                         ?sweep=knob=v1,v2,... adds a knob axis,
+//	                         ?workload=name:k=v names a parameterized
+//	                         workload, ?wsweep=param=v1,v2,... adds a
+//	                         workload-parameter axis; all repeat)
 //	GET  /v1/healthz         liveness plus queue depth
 //	GET  /v1/stats           cache hit rate, queue, and run counters
 //
@@ -287,11 +292,14 @@ type SubmitRequest struct {
 }
 
 // Matrix enumerates an axis-based sweep by name — the wire form of
-// runner.Axes: benchmarks x systems x every swept knob, with fixed
-// Overrides applied to each point.
+// runner.Axes: benchmarks x systems x every swept knob x every swept
+// workload parameter, with fixed Overrides applied to each point.
 type Matrix struct {
-	Benchmarks []string `json:"benchmarks,omitempty"` // default: all six
-	Systems    []string `json:"systems,omitempty"`    // cache|hybrid|ideal; default: all three
+	// Benchmarks holds workload spellings — a workloads registry name,
+	// optionally with fixed parameters ("stream:stride=128"). Default:
+	// every registered workload.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Systems    []string `json:"systems,omitempty"` // cache|hybrid|ideal; default: all three
 	Scale      string   `json:"scale"`
 	Cores      int      `json:"cores,omitempty"`
 
@@ -301,6 +309,10 @@ type Matrix struct {
 	// Sweep adds one enumeration axis per entry, innermost last — each a
 	// registry knob (config.Knobs) with the values it takes.
 	Sweep []runner.KnobAxis `json:"sweep,omitempty"`
+
+	// WSweep adds workload-parameter axes, nested inside the knob axes —
+	// each a parameter declared by every swept workload's registry entry.
+	WSweep []runner.ParamAxis `json:"wsweep,omitempty"`
 }
 
 // Specs expands the enumeration, validating every name before anything is
@@ -315,6 +327,7 @@ func (m Matrix) Specs() ([]system.Spec, error) {
 		Scale:      scale,
 		Cores:      m.Cores,
 		Knobs:      m.Sweep,
+		WParams:    m.WSweep,
 	}
 	if m.Overrides != nil {
 		axes.Base = *m.Overrides
@@ -606,6 +619,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("benchmarks"); v != "" {
 		m.Benchmarks = strings.Split(v, ",")
 	}
+	// ?workload=name:k=v,k2=v2 names one workload per occurrence (the
+	// repeatable form parameter spellings need, since their commas would
+	// split a ?benchmarks= list). Both parameters compose.
+	m.Benchmarks = append(m.Benchmarks, q["workload"]...)
 	if v := q.Get("systems"); v != "" {
 		m.Systems = strings.Split(v, ",")
 	}
@@ -626,6 +643,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		m.Overrides = &ov
 	}
 	if m.Sweep, err = runner.ParseKnobAxes(q["sweep"]); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// ?wsweep=param=v1,v2 adds a workload-parameter axis. Repeatable.
+	if m.WSweep, err = runner.ParseParamAxes(q["wsweep"]); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

@@ -75,15 +75,16 @@ func TestSameSpecTwiceServedFromCache(t *testing.T) {
 	}
 }
 
-// TestSweepMatrixMatchesDirectRun is the second acceptance criterion: a
-// full 18-run matrix over HTTP must reproduce a direct runner.Run of the
-// same Specs exactly.
+// TestSweepMatrixMatchesDirectRun is the second acceptance criterion: the
+// full default matrix (every registered workload x every system) over HTTP
+// must reproduce a direct runner.Run of the same Specs exactly.
 func TestSweepMatrixMatchesDirectRun(t *testing.T) {
-	_, client := newTestDaemon(t, Options{Workers: 4, QueueDepth: 32})
+	_, client := newTestDaemon(t, Options{Workers: 4, QueueDepth: 64})
 
 	specs := runner.Matrix(workloads.Names(), runner.AllSystems, workloads.Tiny, 4)
-	if len(specs) != 18 {
-		t.Fatalf("matrix = %d specs, want 18", len(specs))
+	n := len(specs)
+	if want := len(workloads.Names()) * len(runner.AllSystems); n != want {
+		t.Fatalf("matrix = %d specs, want %d", n, want)
 	}
 	want := map[string]system.Results{}
 	for _, r := range runner.Run(specs, runner.Options{}) {
@@ -100,8 +101,8 @@ func TestSweepMatrixMatchesDirectRun(t *testing.T) {
 			if rec.Status != "done" || rec.Results == nil {
 				t.Fatalf("sweep record %s: status %s error %q", rec.Key, rec.Status, rec.Error)
 			}
-			if rec.Total != 18 {
-				t.Fatalf("record Total = %d, want 18", rec.Total)
+			if rec.Total != n {
+				t.Fatalf("record Total = %d, want %d", rec.Total, n)
 			}
 			got[rec.Key] = *rec.Results
 			return nil
@@ -109,11 +110,11 @@ func TestSweepMatrixMatchesDirectRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum.Runs != 18 || sum.Failed != 0 {
-		t.Fatalf("summary = %+v, want 18 clean runs", sum)
+	if sum.Runs != n || sum.Failed != 0 {
+		t.Fatalf("summary = %+v, want %d clean runs", sum, n)
 	}
-	if len(got) != 18 {
-		t.Fatalf("streamed %d distinct runs, want 18", len(got))
+	if len(got) != n {
+		t.Fatalf("streamed %d distinct runs, want %d", len(got), n)
 	}
 	for key, w := range want {
 		if got[key] != w {
@@ -255,7 +256,7 @@ func TestSweepClientDisconnectCancelsWork(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 
 	// Cancel the sweep after its first streamed line; the single worker
-	// guarantees most of the 18 runs are still queued at that point.
+	// guarantees most of the matrix is still queued at that point.
 	_, err := client.Sweep(ctx, Matrix{Scale: "tiny", Cores: 4}, 0, func(rec RunRecord) error {
 		cancel()
 		return nil
@@ -264,7 +265,8 @@ func TestSweepClientDisconnectCancelsWork(t *testing.T) {
 		t.Fatal("canceled sweep returned no error")
 	}
 	// Every queued job shares the request context, so the workers drain
-	// them as failures without executing; far fewer than 18 complete.
+	// them as failures without executing; far fewer than the full matrix
+	// completes.
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		done := srv.completed.Load() + srv.failed.Load()
@@ -277,7 +279,7 @@ func TestSweepClientDisconnectCancelsWork(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	if c := srv.completed.Load(); c >= 18 {
-		t.Fatalf("completed = %d runs after early disconnect, want far fewer than 18", c)
+		t.Fatalf("completed = %d runs after early disconnect, want far fewer than the matrix", c)
 	}
 }
 

@@ -26,10 +26,22 @@ const DefaultSeed = 0xC0FFEE
 // config.Config by name (the registry in config.Knobs()), so sweeps over
 // cache sizes, NoC bandwidth, DRAM latency, prefetch degree, DMA queue
 // depths, etc. need no Go-code changes anywhere in the stack.
+// The workload space is equally open: Benchmark names any entry of the
+// workloads registry (workloads.Names()), and Params narrows that entry's
+// typed parameter set, so sweeps over strides, footprints, localities and
+// tree arities compose with the machine axes end-to-end.
 type Spec struct {
 	System    config.MemorySystem
-	Benchmark string // a workloads name: CG, EP, FT, IS, MG, SP
+	Benchmark string // a workloads registry name: CG, EP, ..., stream, gups
 	Scale     workloads.Scale
+
+	// Params is a sparse "name=value[,name=value]" assignment over the
+	// workload's declared parameters (workloads.Lookup(Benchmark).Params);
+	// empty keeps every default. It is a string rather than a map to keep
+	// Spec comparable and map-key-safe; Key and Hash canonicalize it
+	// (declaration order, defaults dropped), so equivalent spellings share
+	// one cache address.
+	Params string
 
 	// Overrides retargets any subset of the machine's ~40 knobs relative to
 	// the Table 1 defaults of ForSystem(System). Zero-valued knobs are
@@ -76,6 +88,60 @@ func (s Spec) resolved() config.Overrides {
 	return ov
 }
 
+// ParamDiff returns, in canonical declaration order, every workload
+// parameter that differs from its registry default — the segments Key
+// renders, the "wparam" lines Hash encodes, and the columns a sweep sink
+// prints. A Spec whose Params cannot be parsed or validated yields a nil
+// diff and ok=false; Validate rejects such Specs before they can run or
+// mint a cache identity.
+func (s Spec) ParamDiff() ([]workloads.ParamValue, bool) {
+	p, err := workloads.ParseParams(s.Params)
+	if err != nil {
+		return nil, false
+	}
+	diff, err := workloads.DiffParams(s.Benchmark, p)
+	if err != nil {
+		return nil, false
+	}
+	return diff, true
+}
+
+// ResolvedParam resolves one workload parameter to the value this run uses
+// (the override if set, the registry default otherwise). ok is false when
+// the workload does not declare the parameter or the Spec's Params are
+// invalid.
+func (s Spec) ResolvedParam(name string) (int, bool) {
+	p, err := workloads.ParseParams(s.Params)
+	if err != nil {
+		return 0, false
+	}
+	full, err := workloads.ResolveParams(s.Benchmark, p)
+	if err != nil {
+		return 0, false
+	}
+	v, ok := full[name]
+	return v, ok
+}
+
+// workloadLabel renders the benchmark with its non-default parameters in
+// the CLI's "name:k=v,k2=v2" spelling — the first segment of Key. An
+// invalid Params payload renders with a "!" marker; it still labels the
+// Spec deterministically, but Validate prevents such Specs from running.
+func (s Spec) workloadLabel() string {
+	diff, ok := s.ParamDiff()
+	if !ok {
+		return s.Benchmark + ":!" + s.Params
+	}
+	if len(diff) == 0 {
+		return s.Benchmark
+	}
+	parts := make([]string, len(diff))
+	for i, pv := range diff {
+		parts[i] = fmt.Sprintf("%s=%d", pv.Name, pv.Value)
+	}
+	return s.Benchmark + ":" + strings.Join(parts, ",")
+}
+
 // KnobDiff returns, in canonical registry order, every knob of the
 // materialized machine (Spec.Config()) that differs from the ForSystem
 // defaults — the identity Key and Hash encode, and the columns a sweep
@@ -92,10 +158,12 @@ func (s Spec) KnobDiff() []config.KnobValue {
 // Key is a stable, human-readable identity for the run — usable as a map
 // key, a cache filename, or a progress label. Two Specs with equal Keys
 // produce byte-identical Results; equivalent Specs (a zero field vs its
-// explicit default, a legacy field vs its Overrides twin) share one Key.
-// Non-default knobs render as "/name=value" in registry order.
+// explicit default, a legacy field vs its Overrides twin, an unset workload
+// parameter vs its explicit default) share one Key. Non-default workload
+// params render inside the first segment as "name:k=v"; non-default knobs
+// render as "/name=value" in registry order.
 func (s Spec) Key() string {
-	k := fmt.Sprintf("%s/%s/%s", s.Benchmark, s.System, s.Scale)
+	k := fmt.Sprintf("%s/%s/%s", s.workloadLabel(), s.System, s.Scale)
 	for _, kv := range s.KnobDiff() {
 		k += fmt.Sprintf("/%s=%d", kv.Name, kv.Value)
 	}
@@ -109,21 +177,32 @@ func (s Spec) Key() string {
 }
 
 // Hash is the canonical content address of the run: the SHA-256 (hex) of
-// the normalized fixed-order "hybridsim-spec-v2" encoding — the scenario
-// header followed by one "knob name=value" line per knob of the
-// materialized machine that differs from its Table 1 default, in
-// config.Knobs() registry order (KnobDiff). Defaultable fields are
-// resolved (seed) or dropped (knobs at their Table 1 value), so every
-// spelling of one machine — legacy Cores/FilterEntries, Overrides, or the
-// derived mesh/controller adjustments written out by hand — collapses to
-// one digest, and distinct machines never share one. DESIGN.md §8
-// documents the encoding; it is versioned, so any change to the field set
-// bumps the prefix and old cache entries simply miss (v1 entries now do
-// exactly that).
+// the normalized fixed-order "hybridsim-spec-v3" encoding — the scenario
+// header, one "wparam name=value" line per workload parameter that differs
+// from its registry default (in the workload's declaration order,
+// ParamDiff), then one "knob name=value" line per knob of the materialized
+// machine that differs from its Table 1 default, in config.Knobs() registry
+// order (KnobDiff). Defaultable fields are resolved (seed) or dropped
+// (knobs and params at their default value), so every spelling of one run —
+// legacy Cores/FilterEntries, Overrides, derived mesh/controller
+// adjustments written out by hand, or a workload parameter spelled at its
+// default — collapses to one digest, and distinct runs never share one.
+// DESIGN.md §8 documents the encoding; it is versioned, so any change to
+// the field set bumps the prefix and old cache entries simply miss (v1 and
+// v2 entries now do exactly that — v3 added the workload-parameter lines).
 func (s Spec) Hash() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "hybridsim-spec-v2\nsystem=%s\nbenchmark=%s\nscale=%s\nseed=%x\nmaxevents=%d\n",
+	fmt.Fprintf(&b, "hybridsim-spec-v3\nsystem=%s\nbenchmark=%s\nscale=%s\nseed=%x\nmaxevents=%d\n",
 		s.System, s.Benchmark, s.Scale, s.seed(), s.MaxEvents)
+	if diff, ok := s.ParamDiff(); ok {
+		for _, pv := range diff {
+			fmt.Fprintf(&b, "wparam %s=%d\n", pv.Name, pv.Value)
+		}
+	} else {
+		// Unvalidatable params cannot run, but the digest must still be
+		// total and deterministic for error paths that label by Hash.
+		fmt.Fprintf(&b, "wparam!=%s\n", s.Params)
+	}
 	for _, kv := range s.KnobDiff() {
 		fmt.Fprintf(&b, "knob %s=%d\n", kv.Name, kv.Value)
 	}
@@ -137,6 +216,7 @@ type specJSON struct {
 	System        config.MemorySystem `json:"system"`
 	Benchmark     string              `json:"benchmark"`
 	Scale         workloads.Scale     `json:"scale"`
+	Params        map[string]int      `json:"params,omitempty"`
 	Overrides     *config.Overrides   `json:"overrides,omitempty"`
 	Cores         int                 `json:"cores,omitempty"`
 	Seed          uint64              `json:"seed,omitempty"`
@@ -159,6 +239,13 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 	if !s.Overrides.IsZero() {
 		ov := s.Overrides
 		sj.Overrides = &ov
+	}
+	if s.Params != "" {
+		p, err := workloads.ParseParams(s.Params)
+		if err != nil {
+			return nil, fmt.Errorf("system: bad workload params %q: %w", s.Params, err)
+		}
+		sj.Params = p
 	}
 	return json.Marshal(sj)
 }
@@ -185,6 +272,10 @@ func (s *Spec) UnmarshalJSON(b []byte) error {
 	if sj.Overrides != nil {
 		decoded.Overrides = *sj.Overrides
 	}
+	// JSON objects carry no order, so the decoded assignment is rendered
+	// in the workload's canonical declaration order — one spelling per
+	// assignment, whatever the wire ordering was.
+	decoded.Params = workloads.FormatParams(sj.Benchmark, sj.Params)
 	if err := decoded.Validate(); err != nil {
 		return err
 	}
@@ -231,12 +322,21 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("system: filter_entries %d conflicts with overrides filter_entries %d",
 			s.FilterEntries, s.Overrides.FilterEntries)
 	}
-	for _, n := range workloads.Names() {
-		if n == s.Benchmark {
-			return s.Config().Validate()
-		}
+	// The workload and its parameters validate against the registry —
+	// unknown names, undeclared or out-of-range params, and unparsable
+	// payloads all fail here, before anything is queued or hashed into a
+	// cache identity.
+	if _, ok := workloads.Lookup(s.Benchmark); !ok {
+		return fmt.Errorf("system: unknown benchmark %q (want one of %v)", s.Benchmark, workloads.Names())
 	}
-	return fmt.Errorf("system: unknown benchmark %q (want one of %v)", s.Benchmark, workloads.Names())
+	p, err := workloads.ParseParams(s.Params)
+	if err != nil {
+		return fmt.Errorf("system: %w", err)
+	}
+	if err := workloads.ValidateParams(s.Benchmark, p); err != nil {
+		return fmt.Errorf("system: %w", err)
+	}
+	return s.Config().Validate()
 }
 
 // Execute builds the machine, runs the benchmark to completion, and returns
@@ -253,7 +353,12 @@ func (s Spec) ExecuteContext(ctx context.Context) (Results, error) {
 	if err := s.Validate(); err != nil {
 		return Results{}, err
 	}
-	m, err := Build(s.Config(), workloads.Build(s.Benchmark, s.Scale), s.seed())
+	p, _ := workloads.ParseParams(s.Params) // Validate just accepted it
+	bench, err := workloads.BuildSpec(s.Benchmark, p, s.Scale)
+	if err != nil {
+		return Results{}, err
+	}
+	m, err := Build(s.Config(), bench, s.seed())
 	if err != nil {
 		return Results{}, err
 	}

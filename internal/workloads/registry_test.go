@@ -1,0 +1,207 @@
+package workloads
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+// TestEveryRegisteredNameBuildsAtEveryScale is the registry drift guard:
+// Names(), Build and Spec validation all derive from one table, so every
+// registered workload must build a structurally sane benchmark at every
+// Scale with its default parameters.
+func TestEveryRegisteredNameBuildsAtEveryScale(t *testing.T) {
+	for _, name := range Names() {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Names() lists %q but Lookup misses it", name)
+		}
+		if e.Desc == "" {
+			t.Errorf("%s: empty catalog description", name)
+		}
+		for _, sc := range []Scale{Tiny, Small} {
+			b, err := BuildSpec(name, nil, sc)
+			if err != nil {
+				t.Fatalf("%s at %s: %v", name, sc, err)
+			}
+			if len(b.Kernels) == 0 || b.Repeats <= 0 {
+				t.Fatalf("%s at %s: degenerate benchmark %+v", name, sc, b)
+			}
+			for _, k := range b.Kernels {
+				if k.Iters <= 0 || len(k.Refs) == 0 {
+					t.Fatalf("%s/%s at %s: degenerate kernel", name, k.Name, sc)
+				}
+				// Every kernel's buffer plan must be feasible on the
+				// Table 1 machine (32KB SPM, 32 SPMDir entries).
+				if _, err := compiler.PlanBuffers(&k, 32<<10, 32, 64); err != nil {
+					t.Fatalf("%s/%s at %s: %v", name, k.Name, sc, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterministicBuild pins cache-key safety for every generator: two
+// Build calls with identical params and Scale must yield byte-identical
+// benchmark structure (arrays, kernels, refs, every field) — the property
+// that makes Results a pure function of the Spec and memoization sound.
+func TestDeterministicBuild(t *testing.T) {
+	// Cover defaults and, for every parameterized entry, a non-default
+	// assignment of its first parameter.
+	for _, e := range Entries() {
+		assignments := []map[string]int{nil}
+		if len(e.Params) > 0 {
+			ps := e.Params[0]
+			v := ps.Default * 2
+			if ps.Max > 0 && v > ps.Max {
+				v = ps.Max
+			}
+			assignments = append(assignments, map[string]int{ps.Name: v})
+		}
+		for _, p := range assignments {
+			for _, sc := range []Scale{Tiny, Small} {
+				a, err := BuildSpec(e.Name, p, sc)
+				if err != nil {
+					t.Fatalf("%s %v at %s: %v", e.Name, p, sc, err)
+				}
+				b, err := BuildSpec(e.Name, p, sc)
+				if err != nil {
+					t.Fatalf("%s %v at %s (second build): %v", e.Name, p, sc, err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("%s %v at %s: two builds differ:\n%+v\n%+v", e.Name, p, sc, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestSyntheticsAreScaleInvariantInSignature extends the NAS property to
+// the synthetic generators: Scale shrinks footprints, never the reference
+// signature (kernel and ref counts) the exhibits and buffer plans key on.
+func TestSyntheticsAreScaleInvariantInSignature(t *testing.T) {
+	for _, name := range Names() {
+		tiny := compiler.Characterize(Build(name, Tiny))
+		small := compiler.Characterize(Build(name, Small))
+		if tiny.Kernels != small.Kernels || tiny.SPMRefs != small.SPMRefs ||
+			tiny.GuardedRefs != small.GuardedRefs {
+			t.Errorf("%s: signature changed with scale: %+v vs %+v", name, tiny, small)
+		}
+	}
+}
+
+func TestParseWorkload(t *testing.T) {
+	name, p, err := ParseWorkload("stream:stride=128,n=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "stream" || p["stride"] != 128 || p["n"] != 4096 {
+		t.Fatalf("parsed %s %v", name, p)
+	}
+	if got := FormatWorkload(name, p); got != "stream:n=4096,stride=128" {
+		t.Fatalf("FormatWorkload = %q, want declaration order", got)
+	}
+	name, p, err = ParseWorkload("CG")
+	if err != nil || name != "CG" || len(p) != 0 {
+		t.Fatalf("bare name: %s %v %v", name, p, err)
+	}
+	for _, bad := range []string{
+		"",                      // empty
+		"LU",                    // unknown workload
+		"stream:warp=1",         // undeclared parameter
+		"stream:stride",         // missing value
+		"stream:stride=x",       // bad value
+		"stream:stride=4",       // below minimum
+		"stream:stride=12",      // not a multiple of 8 (cross-param Check)
+		"stream:streams=999",    // above maximum
+		"CG:iters=10",           // NAS kernels declare no parameters
+		"ptrchase:hot_pct=-1",   // below minimum
+		"ptrchase:footprint=12", // not 8-aligned
+	} {
+		if _, _, err := ParseWorkload(bad); err == nil {
+			t.Errorf("ParseWorkload accepted %q", bad)
+		}
+	}
+}
+
+func TestParseParamValueSuffixes(t *testing.T) {
+	cases := map[string]int{
+		"4096": 4096, "64k": 64 << 10, "2M": 2 << 20, "1g": 1 << 30, "1e6": 1_000_000,
+	}
+	for in, want := range cases {
+		got, err := ParseParamValue(in)
+		if err != nil || got != want {
+			t.Errorf("ParseParamValue(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "1.5", "1e99", "4kk"} {
+		if _, err := ParseParamValue(bad); err == nil {
+			t.Errorf("ParseParamValue accepted %q", bad)
+		}
+	}
+}
+
+// TestDiffParamsDropsDefaults: an explicitly-default parameter is the same
+// run as an unset one — the normalization Key and Hash lean on.
+func TestDiffParamsDropsDefaults(t *testing.T) {
+	diff, err := DiffParams("stream", map[string]int{"stride": 8, "n": 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 0 {
+		t.Fatalf("explicit defaults diffed: %v", diff)
+	}
+	diff, err = DiffParams("stream", map[string]int{"stride": 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 1 || diff[0] != (ParamValue{Name: "stride", Value: 128}) {
+		t.Fatalf("diff = %v", diff)
+	}
+}
+
+// TestStreamStrideOpensTheGMRegime: at unit stride every stream is an SPM
+// candidate; at a wider stride the compiler keeps them all out of the SPMs
+// — the new scenario axis the generator exists for.
+func TestStreamStrideOpensTheGMRegime(t *testing.T) {
+	dense, err := BuildSpec("stream", nil, Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := compiler.Characterize(dense); c.SPMRefs != 3 {
+		t.Fatalf("dense stream SPM refs = %d, want 3", c.SPMRefs)
+	}
+	wide, err := BuildSpec("stream", map[string]int{"stride": 128}, Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := compiler.Characterize(wide); c.SPMRefs != 0 {
+		t.Fatalf("strided stream SPM refs = %d, want 0 (GM regime)", c.SPMRefs)
+	}
+}
+
+// TestParamsReachTheBenchmark: a parameter override must change the built
+// structure, not just the name it is filed under.
+func TestParamsReachTheBenchmark(t *testing.T) {
+	small, err := BuildSpec("gups", map[string]int{"table": 4096}, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := BuildSpec("gups", map[string]int{"table": 1 << 24}, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeOf := func(b *compiler.Benchmark) int {
+		for _, a := range b.Arrays {
+			if strings.Contains(a.Name, "tab") {
+				return a.Size
+			}
+		}
+		return 0
+	}
+	if sizeOf(small) != 4096 || sizeOf(big) != 1<<24 {
+		t.Fatalf("table param did not reach the arrays: %d vs %d", sizeOf(small), sizeOf(big))
+	}
+}

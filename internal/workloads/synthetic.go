@@ -1,0 +1,223 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+)
+
+// This file holds the synthetic, parameterized workload generators — the
+// registry entries beyond the paper's NAS six. Each one isolates a single
+// access-pattern regime the hybrid hierarchy must face, with typed
+// parameters opening the axis that matters for it (stride, radius,
+// footprint, locality, arity, ...). Every generator is a pure function of
+// (params, Scale): no clocks, no map iteration, no global state — the
+// determinism the content-addressed result cache depends on.
+
+// mustBytes rejects byte-size parameters the 8-byte element grid cannot
+// address.
+func mustBytes(name string, v int) error {
+	if v%8 != 0 {
+		return fmt.Errorf("%s=%d must be a multiple of 8 bytes", name, v)
+	}
+	return nil
+}
+
+// streamEntry is the STREAM-triad bandwidth probe. At the default unit
+// stride every stream is an SPM candidate (the hybrid's best case: pure
+// double buffering); wider strides leave the SPMs idle and stress cache
+// line utilization and the stride prefetcher instead.
+var streamEntry = Entry{
+	Name: "stream",
+	Desc: "streaming triad a[i]=b[i]+s*c[i]: bandwidth probe, SPM-friendly at unit stride",
+	Params: []ParamSpec{
+		{Name: "n", Default: 65536, Min: 1024, Max: 1 << 22, Desc: "elements per stream"},
+		{Name: "stride", Default: 8, Min: 8, Max: 4096, Desc: "bytes between touched elements (8 = dense; wider bypasses the SPMs)"},
+		{Name: "streams", Default: 3, Min: 1, Max: 12, Desc: "concurrent array streams (the last one stores)"},
+	},
+	Check: func(p map[string]int) error { return mustBytes("stride", p["stride"]) },
+	Build: func(p map[string]int, sc Scale) *compiler.Benchmark {
+		a := newArena()
+		iters := sc.div(p["n"], 1024)
+		stride, streams := p["stride"], p["streams"]
+		var refs []compiler.Ref
+		var arrs []*compiler.Array
+		for i := 0; i < streams; i++ {
+			arr := a.alloc(fmt.Sprintf("stream_v%d", i), iters*stride)
+			arrs = append(arrs, arr)
+			refs = append(refs, compiler.Ref{
+				Name: arr.Name, Array: arr, Pattern: compiler.Strided,
+				Stride: stride, IsWrite: i == streams-1,
+			})
+		}
+		return &compiler.Benchmark{
+			Name: "stream", Repeats: 2, Arrays: arrs,
+			Kernels: []compiler.Kernel{{Name: "triad", Iters: iters, ComputeOps: 8, Refs: refs}},
+		}
+	},
+}
+
+// stencilEntry is a 1-D (2r+1)-point relaxation: every input element is
+// read 2r+1 times per sweep, so the SPM double-buffering amortizes DMA
+// traffic across the whole neighborhood — the reuse regime the NAS suite
+// only touches in MG.
+var stencilEntry = Entry{
+	Name: "stencil",
+	Desc: "(2r+1)-point 1-D stencil sweep: tunable reuse per DMA'd element",
+	Params: []ParamSpec{
+		{Name: "n", Default: 32768, Min: 1024, Max: 1 << 22, Desc: "grid points"},
+		{Name: "radius", Default: 1, Min: 1, Max: 8, Desc: "stencil radius r"},
+	},
+	Build: func(p map[string]int, sc Scale) *compiler.Benchmark {
+		a := newArena()
+		iters := sc.div(p["n"], 1024)
+		points := 2*p["radius"] + 1
+		in := a.alloc("stencil_in", iters*8)
+		out := a.alloc("stencil_out", iters*8)
+		var refs []compiler.Ref
+		for i := 0; i < points; i++ {
+			refs = append(refs, compiler.Ref{
+				Name: fmt.Sprintf("in%d", i), Array: in, Pattern: compiler.Strided,
+			})
+		}
+		refs = append(refs, compiler.Ref{Name: "out", Array: out, Pattern: compiler.Strided, IsWrite: true})
+		return &compiler.Benchmark{
+			Name: "stencil", Repeats: 2, Arrays: []*compiler.Array{in, out},
+			Kernels: []compiler.Kernel{{Name: "relax", Iters: iters, ComputeOps: 2 * points, Refs: refs}},
+		}
+	},
+}
+
+// ptrchaseEntry is the pointer-chase/gather probe: a dense index stream
+// (SPM) drives guarded loads into a node pool whose footprint and temporal
+// locality are the parameters — a dial from CG-like filter-friendly gathers
+// (high hot_pct) down to filter-hostile uniform chasing (hot_pct=0).
+var ptrchaseEntry = Entry{
+	Name: "ptrchase",
+	Desc: "guarded pointer chase over a node pool: tunable footprint and locality",
+	Params: []ParamSpec{
+		{Name: "n", Default: 262144, Min: 2048, Max: 1 << 22, Desc: "dependent hops"},
+		{Name: "footprint", Default: 1 << 20, Min: 4096, Max: 1 << 28, Desc: "node pool bytes"},
+		{Name: "hot_pct", Default: 25, Min: 0, Max: 100, Desc: "percent of hops landing in the hot 8KB window"},
+	},
+	Check: func(p map[string]int) error { return mustBytes("footprint", p["footprint"]) },
+	Build: func(p map[string]int, sc Scale) *compiler.Benchmark {
+		a := newArena()
+		iters := sc.div(p["n"], 2048)
+		idx := a.alloc("chase_idx", iters*8)
+		pool := a.alloc("chase_pool", p["footprint"])
+		refs := []compiler.Ref{
+			{Name: "idx", Array: idx, Pattern: compiler.Strided},
+			{Name: "node", Array: pool, Pattern: compiler.Random, MayAliasSPM: true,
+				HotFraction: float64(p["hot_pct"]) / 100, HotBytes: 8 << 10},
+		}
+		return &compiler.Benchmark{
+			Name: "ptrchase", Repeats: 2, Arrays: []*compiler.Array{idx, pool},
+			Kernels: []compiler.Kernel{{Name: "chase", Iters: iters, ComputeOps: 4, Refs: refs}},
+		}
+	},
+}
+
+// transposeEntry reads a matrix row-major (unit stride, DMA'd into SPMs)
+// and writes it column-major: the store stream hops a full row per element
+// and wraps per column (Ref.Stride), so it is not an SPM candidate and
+// exercises the worst-case cache line utilization on the write path.
+var transposeEntry = Entry{
+	Name: "transpose",
+	Desc: "matrix transpose: unit-stride reads via SPM, column-major strided writes via cache",
+	Params: []ParamSpec{
+		{Name: "rows", Default: 256, Min: 8, Max: 4096, Desc: "matrix rows (the write stride in elements)"},
+		{Name: "cols", Default: 256, Min: 8, Max: 4096, Desc: "matrix columns"},
+	},
+	Build: func(p map[string]int, sc Scale) *compiler.Benchmark {
+		a := newArena()
+		rows := sc.div(p["rows"], 8) // scale one dimension; the traversal shape survives
+		cols := p["cols"]
+		iters := rows * cols
+		in := a.alloc("tr_in", iters*8)
+		out := a.alloc("tr_out", iters*8)
+		refs := []compiler.Ref{
+			{Name: "in", Array: in, Pattern: compiler.Strided},
+			{Name: "out", Array: out, Pattern: compiler.Strided, Stride: rows * 8, IsWrite: true},
+		}
+		return &compiler.Benchmark{
+			Name: "transpose", Repeats: 2, Arrays: []*compiler.Array{in, out},
+			Kernels: []compiler.Kernel{{Name: "transpose", Iters: iters, ComputeOps: 2, Refs: refs}},
+		}
+	},
+}
+
+// reduceEntry is a fan-in reduction tree: each level reads `fanin` input
+// sections and writes one output a fanin-th the size, so the kernels shrink
+// geometrically and the barrier/sync share of the runtime grows with depth
+// — the phase profile the NAS kernels never reach.
+var reduceEntry = Entry{
+	Name: "reduce",
+	Desc: "fan-in reduction tree: geometrically shrinking kernels, sync-dominated tail",
+	Params: []ParamSpec{
+		{Name: "n", Default: 65536, Min: 1024, Max: 1 << 22, Desc: "leaf elements"},
+		{Name: "fanin", Default: 2, Min: 2, Max: 16, Desc: "tree arity"},
+	},
+	Build: func(p map[string]int, sc Scale) *compiler.Benchmark {
+		a := newArena()
+		fanin := p["fanin"]
+		// Depth derives from the UNSCALED width so the kernel signature is
+		// scale-invariant; per-level iteration counts then scale down.
+		const maxDepth = 8
+		depth := 0
+		for w := p["n"]; w > 1 && depth < maxDepth; w /= fanin {
+			depth++
+		}
+		var kernels []compiler.Kernel
+		var arrs []*compiler.Array
+		width := p["n"]
+		for level := 0; level < depth; level++ {
+			width /= fanin
+			if width < 1 {
+				width = 1
+			}
+			iters := sc.div(width, 16)
+			var refs []compiler.Ref
+			for f := 0; f < fanin; f++ {
+				arr := a.alloc(fmt.Sprintf("red_l%d_s%d", level, f), iters*8)
+				arrs = append(arrs, arr)
+				refs = append(refs, compiler.Ref{Name: arr.Name, Array: arr, Pattern: compiler.Strided})
+			}
+			out := a.alloc(fmt.Sprintf("red_l%d_out", level), iters*8)
+			arrs = append(arrs, out)
+			refs = append(refs, compiler.Ref{Name: "out", Array: out, Pattern: compiler.Strided, IsWrite: true})
+			kernels = append(kernels, compiler.Kernel{
+				Name: fmt.Sprintf("red%d", level), Iters: iters, ComputeOps: 2 * fanin, Refs: refs,
+			})
+		}
+		return &compiler.Benchmark{Name: "reduce", Repeats: 2, Arrays: arrs, Kernels: kernels}
+	},
+}
+
+// gupsEntry is the GUPS-style random-access probe: guarded read-modify-
+// write updates spread uniformly over a table, the lowest-locality guarded
+// pattern expressible — the floor of the protocol filter's hit ratio.
+var gupsEntry = Entry{
+	Name: "gups",
+	Desc: "GUPS-style uniform random updates: the protocol filter's worst case",
+	Params: []ParamSpec{
+		{Name: "n", Default: 131072, Min: 2048, Max: 1 << 22, Desc: "random updates"},
+		{Name: "table", Default: 2 << 20, Min: 4096, Max: 1 << 28, Desc: "update table bytes"},
+	},
+	Check: func(p map[string]int) error { return mustBytes("table", p["table"]) },
+	Build: func(p map[string]int, sc Scale) *compiler.Benchmark {
+		a := newArena()
+		iters := sc.div(p["n"], 2048)
+		idx := a.alloc("gups_idx", iters*8)
+		table := a.alloc("gups_tab", p["table"])
+		refs := []compiler.Ref{
+			{Name: "idx", Array: idx, Pattern: compiler.Strided},
+			{Name: "upd_ld", Array: table, Pattern: compiler.Random, MayAliasSPM: true},
+			{Name: "upd_st", Array: table, Pattern: compiler.Random, MayAliasSPM: true, IsWrite: true},
+		}
+		return &compiler.Benchmark{
+			Name: "gups", Repeats: 2, Arrays: []*compiler.Array{idx, table},
+			Kernels: []compiler.Kernel{{Name: "update", Iters: iters, ComputeOps: 4, Refs: refs}},
+		}
+	},
+}

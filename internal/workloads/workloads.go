@@ -1,11 +1,17 @@
-// Package workloads defines the six NAS-derived benchmarks of the paper's
-// evaluation (Table 2) as synthetic kernels over the compiler IR. Each
-// benchmark reproduces its original's signature: kernel count, number of
-// strided (SPM) and potentially incoherent (guarded) references, relative
-// data-set sizes, disjointness of the SPM- and guarded-accessed data, and
-// access locality. Footprints are scaled down from Table 2 so simulations
-// finish in seconds (see DESIGN.md §2 and §5); the Scale type controls how
-// much.
+// Package workloads is the registry of named, parameterized benchmark
+// generators over the compiler IR (see registry.go).
+//
+// The six NAS-derived kernels of the paper's evaluation (Table 2, this
+// file) are parameterless entries; each reproduces its original's
+// signature: kernel count, number of strided (SPM) and potentially
+// incoherent (guarded) references, relative data-set sizes, disjointness of
+// the SPM- and guarded-accessed data, and access locality. Footprints are
+// scaled down from Table 2 so simulations finish in seconds (see DESIGN.md
+// §2 and §5); the Scale type controls how much.
+//
+// The synthetic generators (synthetic.go) open the rest of the access-
+// pattern space with typed parameters: streaming triad, stencil, pointer
+// chase, matrix transpose, reduction tree, and GUPS-style random access.
 package workloads
 
 import (
@@ -81,30 +87,18 @@ func (s *Scale) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// Names lists the benchmarks in the paper's order.
-func Names() []string { return []string{"CG", "EP", "FT", "IS", "MG", "SP"} }
-
-// Build constructs one benchmark at the given scale.
+// Build constructs one benchmark at the given scale with default
+// parameters. It panics on unknown names — the registry-aware paths
+// (BuildSpec, system.Spec.Validate) reject those with errors first.
 func Build(name string, sc Scale) *compiler.Benchmark {
-	switch name {
-	case "CG":
-		return buildCG(sc)
-	case "EP":
-		return buildEP(sc)
-	case "FT":
-		return buildFT(sc)
-	case "IS":
-		return buildIS(sc)
-	case "MG":
-		return buildMG(sc)
-	case "SP":
-		return buildSP(sc)
-	default:
-		panic(fmt.Sprintf("workloads: unknown benchmark %q", name))
+	b, err := BuildSpec(name, nil, sc)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %v", err))
 	}
+	return b
 }
 
-// All builds every benchmark.
+// All builds every registered workload at its default parameters.
 func All(sc Scale) []*compiler.Benchmark {
 	var out []*compiler.Benchmark
 	for _, n := range Names() {

@@ -18,7 +18,7 @@ func TestTable2Signatures(t *testing.T) {
 		"MG": {3, 59, 6},
 		"SP": {54, 497, 0},
 	}
-	for _, name := range Names() {
+	for _, name := range NAS() {
 		b := Build(name, Small)
 		c := compiler.Characterize(b)
 		w := want[name]
@@ -193,9 +193,12 @@ func TestUnknownBenchmarkPanics(t *testing.T) {
 	Build("LU", Small)
 }
 
-func TestAllReturnsSix(t *testing.T) {
-	if got := len(All(Tiny)); got != 6 {
-		t.Fatalf("All = %d benchmarks", got)
+func TestAllCoversTheRegistry(t *testing.T) {
+	if got := len(All(Tiny)); got != len(Names()) {
+		t.Fatalf("All = %d benchmarks, registry has %d", got, len(Names()))
+	}
+	if got := len(NAS()); got != 6 {
+		t.Fatalf("NAS = %d kernels, want the paper's 6", got)
 	}
 }
 

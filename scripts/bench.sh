@@ -5,7 +5,10 @@
 # into BENCH_<date>.json, one object per benchmark with every reported
 # metric (ns/op, B/op, allocs/op, and the custom per-figure metrics such as
 # cycles and speedup-x), so successive commits leave a diffable perf
-# trajectory.
+# trajectory. Besides the paper exhibits, the artifact carries one
+# synthetic registry workload per system and access regime
+# (BenchmarkSyntheticStream/<sys> and BenchmarkSyntheticPtrchase/<sys>), so
+# the trajectory also covers non-NAS patterns.
 #
 # Usage:
 #   scripts/bench.sh                 # quick pass (1 iteration per benchmark)

@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/config"
 	"repro/internal/isa"
@@ -52,6 +54,8 @@ func main() {
 	flag.Var(&sweeps, "sweep", "sweep one machine knob, name=v1,v2,... (repeatable; prints a per-column CSV)")
 	flag.Var(&wsweeps, "wsweep", "sweep one workload parameter, name=v1,v2,... (repeatable; prints a per-column CSV)")
 	workers := flag.Int("workers", 0, "parallel simulations for -sweep/-wsweep (0 = one per host CPU)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	if *listWorkloads {
@@ -119,6 +123,9 @@ func main() {
 		defer cancel()
 	}
 
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
+
 	if len(sweeps) > 0 || len(wsweeps) > 0 {
 		runSweep(ctx, sys, workloads.FormatWorkload(bench, params), scale,
 			*cores, *maxEvents, overrides, sweeps, wsweeps, *workers)
@@ -137,6 +144,7 @@ func main() {
 	r, err := spec.ExecuteContext(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
+		stopProfiles()
 		os.Exit(1)
 	}
 
@@ -181,6 +189,48 @@ func main() {
 	}
 	if sys != config.CacheBased {
 		fmt.Printf("  DMA line xfers   %d\n", r.DMALineTransfers)
+	}
+}
+
+// startProfiles begins CPU profiling and/or arranges a post-run heap
+// profile. The returned stop function is idempotent and must run before the
+// process exits for the profiles to be complete.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
 	}
 }
 

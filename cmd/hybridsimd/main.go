@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +52,7 @@ func main() {
 	queue := flag.Int("queue", service.DefaultQueueDepth, "job queue depth; a full queue rejects submissions with 503")
 	cacheEntries := flag.Int("cache-entries", service.DefaultCacheEntries, "in-memory result cache capacity (specs)")
 	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result tier (empty = memory only)")
+	pprofOn := flag.Bool("pprof", false, "serve mode: expose Go profiling handlers under /debug/pprof/ (opt-in)")
 
 	// Client-mode flags.
 	client := flag.String("client", "", "client mode: base URL of a running daemon")
@@ -92,7 +94,7 @@ func main() {
 		runClient(*client, *benchName, *workloadFlag, *sysName, *scaleName, *cores, sweep, wsweeps, *stats, *timeout, sets, explicit)
 		return
 	}
-	serve(*addr, *workers, *queue, *cacheEntries, *cacheDir)
+	serve(*addr, *workers, *queue, *cacheEntries, *cacheDir, *pprofOn)
 }
 
 // sweepFlag keeps the historical bare "-sweep" boolean (stream the full
@@ -120,7 +122,7 @@ func (f *sweepFlag) Set(s string) error {
 }
 
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully.
-func serve(addr string, workers, queue, cacheEntries int, cacheDir string) {
+func serve(addr string, workers, queue, cacheEntries int, cacheDir string, pprofOn bool) {
 	cache, err := rescache.New(cacheEntries, cacheDir)
 	if err != nil {
 		fatalf("%v", err)
@@ -128,7 +130,20 @@ func serve(addr string, workers, queue, cacheEntries int, cacheDir string) {
 	srv := service.New(service.Options{Workers: workers, QueueDepth: queue, Cache: cache})
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if pprofOn {
+		// Opt-in profiling endpoints: live CPU/heap/goroutine profiles of
+		// a serving daemon without restarting it.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {

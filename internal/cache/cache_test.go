@@ -3,6 +3,8 @@ package cache
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/sim"
 )
 
 const (
@@ -192,19 +194,17 @@ func TestPLRUProtectsMRUProperty(t *testing.T) {
 func TestMSHRBasics(t *testing.T) {
 	m := NewMSHR(2)
 	ran := 0
-	if !m.Allocate(1, false, func() { ran++ }) {
+	if !m.Allocate(1, false, sim.AsCont(func() { ran++ })) {
 		t.Fatal("allocate failed on empty file")
 	}
 	if !m.Pending(1) || m.Pending(2) {
 		t.Fatal("Pending wrong")
 	}
-	m.AddWaiter(1, true, func() { ran++ })
+	m.AddWaiter(1, true, sim.AsCont(func() { ran++ }))
 	if !m.WantsWrite(1) {
 		t.Fatal("write upgrade lost")
 	}
-	for _, w := range m.Complete(1) {
-		w()
-	}
+	m.Complete(1, func(c sim.Cont) { c.Fire() })
 	if ran != 2 {
 		t.Fatalf("waiters run = %d, want 2", ran)
 	}
@@ -215,11 +215,11 @@ func TestMSHRBasics(t *testing.T) {
 
 func TestMSHRFull(t *testing.T) {
 	m := NewMSHR(1)
-	m.Allocate(1, false, func() {})
+	m.Allocate(1, false, nil)
 	if !m.Full() {
 		t.Fatal("Full() = false at capacity")
 	}
-	if m.Allocate(2, false, func() {}) {
+	if m.Allocate(2, false, nil) {
 		t.Fatal("allocate succeeded on full file")
 	}
 	if m.InFlight() != 1 {
@@ -229,24 +229,97 @@ func TestMSHRFull(t *testing.T) {
 
 func TestMSHRDoubleAllocatePanics(t *testing.T) {
 	m := NewMSHR(4)
-	m.Allocate(1, false, func() {})
+	m.Allocate(1, false, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("double allocate did not panic")
 		}
 	}()
-	m.Allocate(1, false, func() {})
+	m.Allocate(1, false, nil)
 }
 
 func TestMSHRWantsWriteFromAllocate(t *testing.T) {
 	m := NewMSHR(4)
-	m.Allocate(3, true, func() {})
+	m.Allocate(3, true, nil)
 	if !m.WantsWrite(3) {
 		t.Fatal("write intent from Allocate lost")
 	}
 	if m.WantsWrite(99) {
 		t.Fatal("WantsWrite on absent line")
 	}
+}
+
+// TestMSHRChurn drives the open-addressed table through interleaved
+// allocate/complete cycles — including colliding keys and deletions in every
+// relative order — and cross-checks against a map-based model. This is what
+// exercises backward-shift deletion.
+func TestMSHRChurn(t *testing.T) {
+	const cap = 8
+	m := NewMSHR(cap)
+	model := map[uint64][]int{}
+	fired := map[int]bool{}
+	next := 0
+	rng := uint64(0x12345)
+	rand := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	for step := 0; step < 5000; step++ {
+		// Small key space forces probe-chain overlap.
+		line := rand(32)
+		switch {
+		case m.Pending(line):
+			if rand(2) == 0 {
+				id := next
+				next++
+				m.AddWaiter(line, rand(2) == 0, contID(id, fired))
+				model[line] = append(model[line], id)
+			} else {
+				want := model[line]
+				delete(model, line)
+				m.Complete(line, func(c sim.Cont) { c.Fire() })
+				for _, id := range want {
+					if !fired[id] {
+						t.Fatalf("step %d: waiter %d for line %d not fired", step, id, line)
+					}
+				}
+			}
+		case !m.Full():
+			id := next
+			next++
+			if !m.Allocate(line, rand(2) == 0, contID(id, fired)) {
+				t.Fatalf("step %d: allocate failed below capacity", step)
+			}
+			model[line] = []int{id}
+		default:
+			// Full: complete an arbitrary pending line.
+			for l := range model {
+				want := model[l]
+				delete(model, l)
+				m.Complete(l, func(c sim.Cont) { c.Fire() })
+				for _, id := range want {
+					if !fired[id] {
+						t.Fatalf("step %d: waiter %d for line %d not fired", step, id, l)
+					}
+				}
+				break
+			}
+		}
+		if m.InFlight() != len(model) {
+			t.Fatalf("step %d: InFlight=%d model=%d", step, m.InFlight(), len(model))
+		}
+		for l := range model {
+			if !m.Pending(l) {
+				t.Fatalf("step %d: line %d lost from table", step, l)
+			}
+		}
+	}
+}
+
+func contID(id int, fired map[int]bool) sim.Cont {
+	return sim.AsCont(func() { fired[id] = true })
 }
 
 func TestPrefetcherDetectsStride(t *testing.T) {

@@ -1,19 +1,41 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // MSHR models the miss status holding registers of a cache controller: one
 // entry per in-flight line fill, each holding the continuations waiting for
 // the fill to complete. Secondary misses on the same line coalesce onto the
 // existing entry instead of issuing new requests.
+//
+// The file is a flat open-addressed table (linear probing, backward-shift
+// deletion) with inline entries, sized at twice the entry capacity so probe
+// chains stay short and the table never grows. Waiters are pooled free-list
+// nodes, so steady-state miss coalescing allocates nothing.
 type MSHR struct {
 	capacity int
-	entries  map[uint64]*mshrEntry
+	count    int
+	mask     uint64
+	tab      []mshrSlot
+	freeW    *mshrWaiter
 }
 
-type mshrEntry struct {
-	waiters   []func()
-	wantWrite bool // some waiter needs write permission
+// mshrSlot is one inline table entry. A zero line address is a valid key, so
+// occupancy is tracked by the used flag, not by a sentinel key.
+type mshrSlot struct {
+	line       uint64
+	used       bool
+	wantWrite  bool // some waiter needs write permission
+	head, tail *mshrWaiter
+}
+
+// mshrWaiter is a pooled FIFO node holding one coalesced continuation.
+type mshrWaiter struct {
+	c    sim.Cont
+	next *mshrWaiter
 }
 
 // NewMSHR returns an MSHR file with the given entry capacity.
@@ -21,57 +43,146 @@ func NewMSHR(capacity int) *MSHR {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cache: MSHR capacity %d", capacity))
 	}
-	return &MSHR{capacity: capacity, entries: make(map[uint64]*mshrEntry)}
+	size := 8
+	for size < 2*capacity {
+		size *= 2
+	}
+	return &MSHR{capacity: capacity, mask: uint64(size - 1), tab: make([]mshrSlot, size)}
+}
+
+// ideal returns the home slot of a line (Fibonacci hashing: multiply by the
+// 64-bit golden ratio and mask).
+func (m *MSHR) ideal(line uint64) uint64 {
+	return (line * 0x9E3779B97F4A7C15) & m.mask
+}
+
+// find returns the slot index of line, or -1. Terminates because occupancy
+// is bounded by capacity, which is at most half the table.
+func (m *MSHR) find(line uint64) int {
+	for i := m.ideal(line); ; i = (i + 1) & m.mask {
+		s := &m.tab[i]
+		if !s.used {
+			return -1
+		}
+		if s.line == line {
+			return int(i)
+		}
+	}
+}
+
+// del removes slot i, back-shifting displaced successors so no tombstones
+// accumulate: any later element whose home slot lies cyclically at or before
+// the vacated slot moves into it, and the scan repeats from the new hole.
+func (m *MSHR) del(i uint64) {
+	j := i
+	for {
+		m.tab[i] = mshrSlot{}
+		for {
+			j = (j + 1) & m.mask
+			s := &m.tab[j]
+			if !s.used {
+				return
+			}
+			k := m.ideal(s.line)
+			// Movable when k is cyclically outside (i, j].
+			if (j >= i && (k <= i || k > j)) || (j < i && k <= i && k > j) {
+				m.tab[i] = *s
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// pushWaiter appends a continuation to the slot's FIFO, reusing pool nodes.
+func (m *MSHR) pushWaiter(s *mshrSlot, c sim.Cont) {
+	w := m.freeW
+	if w != nil {
+		m.freeW = w.next
+		w.next = nil
+	} else {
+		w = &mshrWaiter{}
+	}
+	w.c = c
+	if s.tail == nil {
+		s.head = w
+	} else {
+		s.tail.next = w
+	}
+	s.tail = w
 }
 
 // Pending reports whether a fill for lineAddr is already in flight.
-func (m *MSHR) Pending(lineAddr uint64) bool {
-	_, ok := m.entries[lineAddr]
-	return ok
-}
+func (m *MSHR) Pending(lineAddr uint64) bool { return m.find(lineAddr) >= 0 }
 
 // Full reports whether no new entry can be allocated.
-func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+func (m *MSHR) Full() bool { return m.count >= m.capacity }
 
 // InFlight returns the number of allocated entries.
-func (m *MSHR) InFlight() int { return len(m.entries) }
+func (m *MSHR) InFlight() int { return m.count }
 
 // Allocate creates an entry for lineAddr with one waiter. It reports false
 // (and does nothing) when the file is full. Allocating an already-pending
 // line is a bug: callers must coalesce via AddWaiter.
-func (m *MSHR) Allocate(lineAddr uint64, write bool, waiter func()) bool {
+func (m *MSHR) Allocate(lineAddr uint64, write bool, waiter sim.Cont) bool {
 	if m.Pending(lineAddr) {
 		panic(fmt.Sprintf("cache: MSHR double-allocate for line %#x", lineAddr))
 	}
 	if m.Full() {
 		return false
 	}
-	m.entries[lineAddr] = &mshrEntry{waiters: []func(){waiter}, wantWrite: write}
+	i := m.ideal(lineAddr)
+	for m.tab[i].used {
+		i = (i + 1) & m.mask
+	}
+	s := &m.tab[i]
+	s.line, s.used, s.wantWrite = lineAddr, true, write
+	if waiter == nil {
+		waiter = sim.Nop
+	}
+	m.pushWaiter(s, waiter)
+	m.count++
 	return true
 }
 
 // AddWaiter coalesces a secondary miss onto the pending entry.
-func (m *MSHR) AddWaiter(lineAddr uint64, write bool, waiter func()) {
-	e, ok := m.entries[lineAddr]
-	if !ok {
+func (m *MSHR) AddWaiter(lineAddr uint64, write bool, waiter sim.Cont) {
+	i := m.find(lineAddr)
+	if i < 0 {
 		panic(fmt.Sprintf("cache: AddWaiter on non-pending line %#x", lineAddr))
 	}
-	e.waiters = append(e.waiters, waiter)
-	e.wantWrite = e.wantWrite || write
+	s := &m.tab[i]
+	if waiter == nil {
+		waiter = sim.Nop
+	}
+	m.pushWaiter(s, waiter)
+	s.wantWrite = s.wantWrite || write
 }
 
 // WantsWrite reports whether the pending entry requires write permission.
 func (m *MSHR) WantsWrite(lineAddr uint64) bool {
-	e, ok := m.entries[lineAddr]
-	return ok && e.wantWrite
+	i := m.find(lineAddr)
+	return i >= 0 && m.tab[i].wantWrite
 }
 
-// Complete removes the entry and returns its waiters for the caller to run.
-func (m *MSHR) Complete(lineAddr uint64) []func() {
-	e, ok := m.entries[lineAddr]
-	if !ok {
+// Complete removes the entry and hands each waiter to fire in FIFO order.
+// Waiter nodes return to the pool before fire runs, so a continuation that
+// re-enters the MSHR reuses them immediately.
+func (m *MSHR) Complete(lineAddr uint64, fire func(sim.Cont)) {
+	i := m.find(lineAddr)
+	if i < 0 {
 		panic(fmt.Sprintf("cache: Complete on non-pending line %#x", lineAddr))
 	}
-	delete(m.entries, lineAddr)
-	return e.waiters
+	w := m.tab[i].head
+	m.del(uint64(i))
+	m.count--
+	for w != nil {
+		n := w.next
+		c := w.c
+		w.c = nil
+		w.next = m.freeW
+		m.freeW = w
+		fire(c)
+		w = n
+	}
 }

@@ -28,6 +28,17 @@ func newRig(t testing.TB) *rig {
 	return &rig{eng: eng, mesh: mesh, dram: dram, h: New(eng, cfg, mesh, dram), cfg: cfg}
 }
 
+// Cont-wrapping helpers so test closures stay readable.
+func (r *rig) read(c int, a, pc uint64, done func()) { r.h.Read(c, a, pc, sim.AsCont(done)) }
+
+func (r *rig) write(c int, a, pc uint64, done func()) { r.h.Write(c, a, pc, sim.AsCont(done)) }
+
+func (r *rig) ifetch(c int, pc uint64, done func()) { r.h.IFetch(c, pc, sim.AsCont(done)) }
+
+func (r *rig) dmaRead(c int, line uint64, done func()) { r.h.DMARead(c, line, sim.AsCont(done)) }
+
+func (r *rig) dmaWrite(c int, line uint64, done func()) { r.h.DMAWrite(c, line, sim.AsCont(done)) }
+
 // addr returns a byte address within a distinct line.
 func addr(line uint64) uint64 { return line << 6 }
 
@@ -41,7 +52,7 @@ func (r *rig) drain(t testing.TB) {
 func TestColdReadFetchesFromMemory(t *testing.T) {
 	r := newRig(t)
 	done := false
-	r.h.Read(1, addr(100), 0x40, func() { done = true })
+	r.read(1, addr(100), 0x40, func() { done = true })
 	r.drain(t)
 	if !done {
 		t.Fatal("read never completed")
@@ -61,9 +72,9 @@ func TestColdReadFetchesFromMemory(t *testing.T) {
 func TestSecondReadHitsL1(t *testing.T) {
 	r := newRig(t)
 	reads := 0
-	r.h.Read(0, addr(7), 0x40, func() {
+	r.read(0, addr(7), 0x40, func() {
 		reads++
-		r.h.Read(0, addr(7), 0x40, func() { reads++ })
+		r.read(0, addr(7), 0x40, func() { reads++ })
 	})
 	r.drain(t)
 	if reads != 2 {
@@ -76,10 +87,10 @@ func TestSecondReadHitsL1(t *testing.T) {
 
 func TestSilentEToMUpgrade(t *testing.T) {
 	r := newRig(t)
-	r.h.Read(2, addr(9), 0x40, func() {
+	r.read(2, addr(9), 0x40, func() {
 		// E state: the store must not generate any new traffic.
 		pktsBefore := r.mesh.TotalPackets()
-		r.h.Write(2, addr(9), 0x44, func() {
+		r.write(2, addr(9), 0x44, func() {
 			if r.mesh.TotalPackets() != pktsBefore {
 				t.Errorf("silent E->M upgrade generated traffic")
 			}
@@ -93,8 +104,8 @@ func TestSilentEToMUpgrade(t *testing.T) {
 
 func TestReadSharingDowngradesOwner(t *testing.T) {
 	r := newRig(t)
-	r.h.Write(0, addr(5), 0x40, func() {
-		r.h.Read(1, addr(5), 0x44, func() {})
+	r.write(0, addr(5), 0x40, func() {
+		r.read(1, addr(5), 0x44, func() {})
 	})
 	r.drain(t)
 	if st := r.h.L1State(0, 5); st != StateS {
@@ -120,11 +131,11 @@ func TestWriteInvalidatesSharers(t *testing.T) {
 	n := 0
 	read := func(c int, next func()) func() {
 		return func() {
-			r.h.Read(c, addr(5), 0x40, func() { n++; next() })
+			r.read(c, addr(5), 0x40, func() { n++; next() })
 		}
 	}
 	read(0, read(1, read(2, func() {
-		r.h.Write(3, addr(5), 0x50, func() { n++ })
+		r.write(3, addr(5), 0x50, func() { n++ })
 	})))()
 	r.drain(t)
 	if n != 4 {
@@ -145,8 +156,8 @@ func TestWriteInvalidatesSharers(t *testing.T) {
 
 func TestOwnershipTransferOnWrite(t *testing.T) {
 	r := newRig(t)
-	r.h.Write(0, addr(11), 0x40, func() {
-		r.h.Write(1, addr(11), 0x44, func() {})
+	r.write(0, addr(11), 0x40, func() {
+		r.write(1, addr(11), 0x44, func() {})
 	})
 	r.drain(t)
 	if st := r.h.L1State(0, 11); st != cache.Invalid {
@@ -163,9 +174,9 @@ func TestOwnershipTransferOnWrite(t *testing.T) {
 func TestUpgradeFromShared(t *testing.T) {
 	r := newRig(t)
 	// Core 0 and 1 read (S), core 0 upgrades with a store.
-	r.h.Read(0, addr(20), 0x40, func() {
-		r.h.Read(1, addr(20), 0x44, func() {
-			r.h.Write(0, addr(20), 0x48, func() {})
+	r.read(0, addr(20), 0x40, func() {
+		r.read(1, addr(20), 0x44, func() {
+			r.write(0, addr(20), 0x48, func() {})
 		})
 	})
 	r.drain(t)
@@ -184,8 +195,8 @@ func TestMSHRCoalescing(t *testing.T) {
 	r := newRig(t)
 	n := 0
 	// Two reads to the same line issued back to back: one memory fetch.
-	r.h.Read(0, addr(33), 0x40, func() { n++ })
-	r.h.Read(0, addr(33)+8, 0x44, func() { n++ })
+	r.read(0, addr(33), 0x40, func() { n++ })
+	r.read(0, addr(33)+8, 0x44, func() { n++ })
 	r.drain(t)
 	if n != 2 {
 		t.Fatalf("completed = %d", n)
@@ -197,8 +208,8 @@ func TestMSHRCoalescing(t *testing.T) {
 
 func TestCoalescedReadThenWriteGetsM(t *testing.T) {
 	r := newRig(t)
-	r.h.Read(0, addr(42), 0x40, func() {})
-	r.h.Write(0, addr(42)+8, 0x44, func() {})
+	r.read(0, addr(42), 0x40, func() {})
+	r.write(0, addr(42)+8, 0x44, func() {})
 	r.drain(t)
 	if st := r.h.L1State(0, 42); st != StateM {
 		t.Fatalf("state = %d, want M (write coalesced onto read miss)", st)
@@ -207,8 +218,8 @@ func TestCoalescedReadThenWriteGetsM(t *testing.T) {
 
 func TestIFetchSharedOnly(t *testing.T) {
 	r := newRig(t)
-	r.h.IFetch(0, addr(70), func() {})
-	r.h.IFetch(1, addr(70), func() {})
+	r.ifetch(0, addr(70), func() {})
+	r.ifetch(1, addr(70), func() {})
 	r.drain(t)
 	if r.h.DirOwner(70) != -1 {
 		t.Fatalf("ifetch created an owner: %d", r.h.DirOwner(70))
@@ -223,8 +234,8 @@ func TestIFetchSharedOnly(t *testing.T) {
 
 func TestIFetchHit(t *testing.T) {
 	r := newRig(t)
-	r.h.IFetch(0, addr(70), func() {
-		r.h.IFetch(0, addr(70)+4, func() {})
+	r.ifetch(0, addr(70), func() {
+		r.ifetch(0, addr(70)+4, func() {})
 	})
 	r.drain(t)
 	if got := r.h.Stats().Get("l1i.misses"); got != 1 {
@@ -234,8 +245,8 @@ func TestIFetchHit(t *testing.T) {
 
 func TestDMAReadSnoopsDirtyWithoutInvalidating(t *testing.T) {
 	r := newRig(t)
-	r.h.Write(0, addr(50), 0x40, func() {
-		r.h.DMARead(2, 50, func() {})
+	r.write(0, addr(50), 0x40, func() {
+		r.dmaRead(2, 50, func() {})
 	})
 	r.drain(t)
 	if st := r.h.L1State(0, 50); st != StateM {
@@ -249,7 +260,7 @@ func TestDMAReadSnoopsDirtyWithoutInvalidating(t *testing.T) {
 func TestDMAReadFromMemory(t *testing.T) {
 	r := newRig(t)
 	done := false
-	r.h.DMARead(1, 60, func() { done = true })
+	r.dmaRead(1, 60, func() { done = true })
 	r.drain(t)
 	if !done {
 		t.Fatal("dma read never completed")
@@ -262,9 +273,9 @@ func TestDMAReadFromMemory(t *testing.T) {
 func TestDMAWriteInvalidatesEverywhere(t *testing.T) {
 	r := newRig(t)
 	// Two sharers + dirty L2 copy, then dma-put.
-	r.h.Read(0, addr(80), 0x40, func() {
-		r.h.Read(1, addr(80), 0x44, func() {
-			r.h.DMAWrite(2, 80, func() {})
+	r.read(0, addr(80), 0x40, func() {
+		r.read(1, addr(80), 0x44, func() {
+			r.dmaWrite(2, 80, func() {})
 		})
 	})
 	r.drain(t)
@@ -284,7 +295,7 @@ func TestDMAWriteInvalidatesEverywhere(t *testing.T) {
 func TestDMAWriteUncachedLine(t *testing.T) {
 	r := newRig(t)
 	done := false
-	r.h.DMAWrite(3, 90, func() { done = true })
+	r.dmaWrite(3, 90, func() { done = true })
 	r.drain(t)
 	if !done {
 		t.Fatal("dma write never completed")
@@ -313,7 +324,7 @@ func TestEvictionWritesBackDirtyLine(t *testing.T) {
 			return
 		}
 		// Distinct PCs so the stride prefetcher stays quiet.
-		r.h.Write(0, addr(lines[i]), uint64(0x40+8*i), func() { n++; chain(i + 1) })
+		r.write(0, addr(lines[i]), uint64(0x40+8*i), func() { n++; chain(i + 1) })
 	}
 	chain(0)
 	r.drain(t)
@@ -328,11 +339,11 @@ func TestEvictionWritesBackDirtyLine(t *testing.T) {
 func TestTLBMissPenalty(t *testing.T) {
 	r := newRig(t)
 	var first, second sim.Time
-	r.h.Read(0, 0x100000, 0x40, func() {
+	r.read(0, 0x100000, 0x40, func() {
 		first = r.eng.Now()
 		// Same page: TLB hit, same line: L1 hit.
 		start := r.eng.Now()
-		r.h.Read(0, 0x100008, 0x44, func() { second = r.eng.Now() - start })
+		r.read(0, 0x100008, 0x44, func() { second = r.eng.Now() - start })
 	})
 	r.drain(t)
 	if r.h.Stats().Get("tlb.misses") != 1 {
@@ -354,7 +365,7 @@ func TestPrefetcherIssuesOnStrides(t *testing.T) {
 		if i == 12 {
 			return
 		}
-		r.h.Read(0, addr(uint64(200+i)), 0x80, func() { step(i + 1) })
+		r.read(0, addr(uint64(200+i)), 0x80, func() { step(i + 1) })
 	}
 	step(0)
 	r.drain(t)
@@ -368,7 +379,7 @@ func TestPrefetcherIssuesOnStrides(t *testing.T) {
 
 func TestReadTrafficCategorized(t *testing.T) {
 	r := newRig(t)
-	r.h.Read(1, addr(300), 0x40, func() {})
+	r.read(1, addr(300), 0x40, func() {})
 	r.drain(t)
 	if r.mesh.Packets(noc.Read) == 0 {
 		t.Fatal("read generated no Read-category packets")
@@ -382,7 +393,7 @@ func TestConcurrentWritersSerialize(t *testing.T) {
 	r := newRig(t)
 	n := 0
 	for c := 0; c < 4; c++ {
-		r.h.Write(c, addr(500), uint64(0x40+4*c), func() { n++ })
+		r.write(c, addr(500), uint64(0x40+4*c), func() { n++ })
 	}
 	r.drain(t)
 	if n != 4 {
@@ -416,9 +427,9 @@ func TestSWMRProperty(t *testing.T) {
 			line := uint64(op>>2) % 8
 			write := op&0x8000 != 0
 			if write {
-				r.h.Write(core, addr(line), uint64(op), func() {})
+				r.write(core, addr(line), uint64(op), func() {})
 			} else {
-				r.h.Read(core, addr(line), uint64(op), func() {})
+				r.read(core, addr(line), uint64(op), func() {})
 			}
 		}
 		r.eng.Run()
@@ -461,13 +472,13 @@ func TestCompletionProperty(t *testing.T) {
 			want++
 			switch (op >> 13) % 4 {
 			case 0:
-				r.h.Read(core, addr(line), uint64(op), func() { got++ })
+				r.read(core, addr(line), uint64(op), func() { got++ })
 			case 1:
-				r.h.Write(core, addr(line), uint64(op), func() { got++ })
+				r.write(core, addr(line), uint64(op), func() { got++ })
 			case 2:
-				r.h.DMARead(core, line, func() { got++ })
+				r.dmaRead(core, line, func() { got++ })
 			case 3:
-				r.h.DMAWrite(core, line, func() { got++ })
+				r.dmaWrite(core, line, func() { got++ })
 			}
 		}
 		r.eng.Run()

@@ -26,6 +26,13 @@
 // the SetBufSize instruction before each loop: every structure operates on
 // base addresses, exploiting the equal-buffer-size invariant of fork-join
 // parallelism (paper §3.1).
+//
+// Hot-path memory discipline: a guarded access is a pooled gtxn node whose
+// three concurrent strands (buffered cache access, FilterDir resolution,
+// remote-SPM data) are pre-wired sub-continuations; FilterDir transactions
+// and protocol messages are pooled pnode state machines; the oracle and the
+// per-base busy serialization are flat open-addressed tables. Steady-state
+// guarded traffic allocates nothing.
 package core
 
 import (
@@ -66,8 +73,8 @@ func (s Served) String() string {
 // GM abstracts the coherent cache path used by guarded accesses
 // (implemented by coherence.Hierarchy).
 type GM interface {
-	Read(core int, addr, pc uint64, done func())
-	Write(core int, addr, pc uint64, done func())
+	Read(core int, addr, pc uint64, done sim.Cont)
+	Write(core int, addr, pc uint64, done sim.Cont)
 }
 
 // RecheckHook is the LSQ ordering re-check of §3.4: invoked when a guarded
@@ -80,6 +87,28 @@ type RecheckHook func(core int, spmAddr uint64, isStore bool) bool
 const (
 	ctrlBytes = 8
 	dataBytes = 72
+)
+
+// Interned counter handles (resolved once at package init).
+var (
+	protReg = stats.NewReg()
+
+	hGuardedAcc  = protReg.Handle("guarded.accesses")
+	hDiscarded   = protReg.Handle("guarded.l1_probe_discarded")
+	hSPMDirLk    = protReg.Handle("spmdir.lookups")
+	hSPMDirHit   = protReg.Handle("spmdir.hits")
+	hSPMDirRHit  = protReg.Handle("spmdir.remote_hits")
+	hSPMDirUpd   = protReg.Handle("spmdir.updates")
+	hFilterLk    = protReg.Handle("filter.lookups")
+	hFilterHit   = protReg.Handle("filter.hits")
+	hFilterMiss  = protReg.Handle("filter.misses")
+	hFilterIns   = protReg.Handle("filter.inserts")
+	hFilterEvict = protReg.Handle("filter.evictions")
+	hFilterInval = protReg.Handle("filter.invalidations")
+	hFDirLk      = protReg.Handle("fdir.lookups")
+	hFDirBcast   = protReg.Handle("fdir.broadcasts")
+	hFDirEvict   = protReg.Handle("fdir.evictions")
+	hLSQFlush    = protReg.Handle("lsq.flushes")
 )
 
 // Protocol is the chip-wide SPM coherence engine.
@@ -105,16 +134,14 @@ type Protocol struct {
 	// oracle is the authoritative chunk-mapping table. The real protocol
 	// never reads it to divert accesses (only its CAMs); it backs the
 	// ideal-coherence configuration and invariant checks.
-	oracle map[uint64]oracleEntry
+	oracle oracleTab
 
 	recheck RecheckHook
 
-	set *stats.Set
-}
+	set *stats.Counters
 
-type oracleEntry struct {
-	core   int
-	bufIdx int
+	freeG *gtxn
+	freeP *pnode
 }
 
 // spmDir is one core's SPMDir: entry index == buffer number (§3.1).
@@ -208,24 +235,26 @@ func (f *filter) validCount() int {
 }
 
 // fdirSlice is one distributed slice of the FilterDir: a CAM of base
-// addresses with sharer bit-vectors, LRU-replaced.
+// addresses with sharer bit-vectors, LRU-replaced. busy serializes
+// transactions per base address.
 type fdirSlice struct {
 	node    int
 	base    []uint64
 	sharers []uint64
 	use     []uint64
 	tick    uint64
-	busy    map[uint64][]func() // per-base transaction serialization
+	busy    busyTab
 }
 
 func newFDirSlice(node, entries int) *fdirSlice {
-	return &fdirSlice{
+	s := &fdirSlice{
 		node:    node,
 		base:    make([]uint64, entries),
 		sharers: make([]uint64, entries),
 		use:     make([]uint64, entries),
-		busy:    make(map[uint64][]func()),
 	}
+	s.busy.init(16)
+	return s
 }
 
 func (s *fdirSlice) find(base uint64) int {
@@ -267,6 +296,225 @@ func (s *fdirSlice) insert(base uint64, sharerBit uint64) (victimBase, victimSha
 
 func (s *fdirSlice) remove(i int) { s.use[i] = 0; s.sharers[i] = 0 }
 
+// ---------------------------------------------------------------------------
+// Open-addressed tables (linear probing, backward-shift deletion).
+
+// busyTab serializes FilterDir transactions per base: an entry exists while
+// a transaction holds the base, and queued transactions wait on an intrusive
+// deque of pnodes.
+type busyTab struct {
+	mask  uint64
+	count int
+	slots []busySlot
+}
+
+type busySlot struct {
+	base uint64
+	used bool
+	head *pnode
+	tail *pnode
+}
+
+func (b *busyTab) init(size int) {
+	b.slots = make([]busySlot, size)
+	b.mask = uint64(size - 1)
+}
+
+func (b *busyTab) ideal(base uint64) uint64 {
+	return (base * 0x9E3779B97F4A7C15) & b.mask
+}
+
+func (b *busyTab) find(base uint64) int {
+	for i := b.ideal(base); ; i = (i + 1) & b.mask {
+		s := &b.slots[i]
+		if !s.used {
+			return -1
+		}
+		if s.base == base {
+			return int(i)
+		}
+	}
+}
+
+// acquire marks base busy, returning false when it already was.
+func (b *busyTab) acquire(base uint64) bool {
+	if b.find(base) >= 0 {
+		return false
+	}
+	if b.count*4 >= len(b.slots)*3 {
+		b.grow()
+	}
+	i := b.ideal(base)
+	for b.slots[i].used {
+		i = (i + 1) & b.mask
+	}
+	b.slots[i] = busySlot{base: base, used: true}
+	b.count++
+	return true
+}
+
+func (b *busyTab) grow() {
+	old := b.slots
+	b.slots = make([]busySlot, 2*len(old))
+	b.mask = uint64(len(b.slots) - 1)
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		j := b.ideal(old[i].base)
+		for b.slots[j].used {
+			j = (j + 1) & b.mask
+		}
+		b.slots[j] = old[i]
+	}
+}
+
+// queue appends n to base's waiting deque (base must be busy).
+func (b *busyTab) queue(base uint64, n *pnode) {
+	s := &b.slots[b.find(base)]
+	n.next = nil
+	if s.tail == nil {
+		s.head = n
+	} else {
+		s.tail.next = n
+	}
+	s.tail = n
+}
+
+// release removes base's entry and returns the head of its waiting deque.
+func (b *busyTab) release(base uint64) *pnode {
+	i := b.find(base)
+	if i < 0 {
+		return nil
+	}
+	head := b.slots[i].head
+	b.del(uint64(i))
+	return head
+}
+
+func (b *busyTab) del(i uint64) {
+	b.count--
+	j := i
+	for {
+		b.slots[i] = busySlot{}
+		for {
+			j = (j + 1) & b.mask
+			s := &b.slots[j]
+			if !s.used {
+				return
+			}
+			k := b.ideal(s.base)
+			if (j >= i && (k <= i || k > j)) || (j < i && k <= i && k > j) {
+				b.slots[i] = *s
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// oracleTab maps a GM base address to its current SPM mapping.
+type oracleTab struct {
+	mask  uint64
+	count int
+	slots []oracleSlot
+}
+
+type oracleSlot struct {
+	base   uint64
+	used   bool
+	core   int32
+	bufIdx int32
+}
+
+func (o *oracleTab) init(size int) {
+	o.slots = make([]oracleSlot, size)
+	o.mask = uint64(size - 1)
+}
+
+func (o *oracleTab) ideal(base uint64) uint64 {
+	return (base * 0x9E3779B97F4A7C15) & o.mask
+}
+
+func (o *oracleTab) find(base uint64) int {
+	for i := o.ideal(base); ; i = (i + 1) & o.mask {
+		s := &o.slots[i]
+		if !s.used {
+			return -1
+		}
+		if s.base == base {
+			return int(i)
+		}
+	}
+}
+
+func (o *oracleTab) get(base uint64) (core, bufIdx int, ok bool) {
+	i := o.find(base)
+	if i < 0 {
+		return 0, 0, false
+	}
+	return int(o.slots[i].core), int(o.slots[i].bufIdx), true
+}
+
+func (o *oracleTab) put(base uint64, core, bufIdx int) {
+	if i := o.find(base); i >= 0 {
+		o.slots[i].core = int32(core)
+		o.slots[i].bufIdx = int32(bufIdx)
+		return
+	}
+	if o.count*4 >= len(o.slots)*3 {
+		o.grow()
+	}
+	i := o.ideal(base)
+	for o.slots[i].used {
+		i = (i + 1) & o.mask
+	}
+	o.slots[i] = oracleSlot{base: base, used: true, core: int32(core), bufIdx: int32(bufIdx)}
+	o.count++
+}
+
+func (o *oracleTab) grow() {
+	old := o.slots
+	o.slots = make([]oracleSlot, 2*len(old))
+	o.mask = uint64(len(o.slots) - 1)
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		j := o.ideal(old[i].base)
+		for o.slots[j].used {
+			j = (j + 1) & o.mask
+		}
+		o.slots[j] = old[i]
+	}
+}
+
+func (o *oracleTab) delete(base uint64) {
+	i := o.find(base)
+	if i < 0 {
+		return
+	}
+	o.count--
+	j := uint64(i)
+	k := j
+	for {
+		o.slots[j] = oracleSlot{}
+		for {
+			k = (k + 1) & o.mask
+			s := &o.slots[k]
+			if !s.used {
+				return
+			}
+			h := o.ideal(s.base)
+			if (k >= j && (h <= j || h > k)) || (k < j && h <= j && h > k) {
+				o.slots[j] = *s
+				j = k
+				break
+			}
+		}
+	}
+}
+
 // New builds the protocol engine. spms must hold one SPM per core; amap is
 // the chip's SPM address map. ideal selects the oracle coherence used as
 // the Fig. 7 baseline.
@@ -285,9 +533,9 @@ func New(eng *sim.Engine, cfg config.Config, mesh *noc.Mesh, gm GM, spms []*spm.
 		bufSize:    make([]int, cfg.Cores),
 		baseMask:   make([]uint64, cfg.Cores),
 		offsetMask: make([]uint64, cfg.Cores),
-		oracle:     make(map[uint64]oracleEntry),
-		set:        stats.NewSet("spmcoh"),
+		set:        protReg.NewCounters("spmcoh"),
 	}
+	p.oracle.init(64)
 	perSlice := cfg.FilterDirEntries / cfg.Cores
 	if perSlice <= 0 {
 		perSlice = 1
@@ -305,7 +553,7 @@ func New(eng *sim.Engine, cfg config.Config, mesh *noc.Mesh, gm GM, spms []*spm.
 func (p *Protocol) SetRecheckHook(h RecheckHook) { p.recheck = h }
 
 // Stats returns the protocol counter set.
-func (p *Protocol) Stats() *stats.Set { return p.set }
+func (p *Protocol) Stats() *stats.Counters { return p.set }
 
 // SetBufSize programs core's Base/Offset mask registers for buffer size
 // bytes (a power of two). Emitted by the runtime before each loop (§3.1).
@@ -332,6 +580,278 @@ func (p *Protocol) fdirHome(base uint64) *fdirSlice {
 }
 
 // ---------------------------------------------------------------------------
+// Pooled transaction nodes
+
+// gtxn is one pooled guarded-access transaction. Its three concurrent
+// strands in the filter-miss case — the buffered cache access, the FilterDir
+// resolution, and the remote-SPM data — are pre-wired sub-continuations, so
+// the whole Fig. 5 casuistic runs without allocating. refs counts strands in
+// flight: the node recycles when the access completed and every strand fired
+// (a discarded buffered load can complete after the access itself).
+type gtxn struct {
+	p    *Protocol
+	next *gtxn
+
+	done  sim.Cont     // hot path: Served is irrelevant to the CPU
+	doneS func(Served) // compat path (tests): receives which storage served
+
+	kind uint8
+	step uint8
+	refs int8
+
+	isStore bool
+	// Filter-miss resolution state (the captured variables of Fig. 5c/5d).
+	resolved      bool
+	completed     bool
+	cacheDone     bool
+	remoteArrived bool
+	mappedStaged  bool // resolution outcome, read when the response arrives
+	resolution    Served
+
+	core int
+	aux  int // remote core (ideal path)
+	base uint64
+
+	cacheSub  subCont
+	resSub    subCont
+	remoteSub subCont
+}
+
+// gtxn kinds for the main continuation.
+const (
+	gCache       uint8 = iota // gm access completion serves the access
+	gLocal                    // local SPM access completion
+	gIdealRemote              // oracle remote-SPM round trip
+	gMiss                     // filter miss: only sub-strands fire
+)
+
+// sub-strand kinds.
+const (
+	subCache uint8 = iota
+	subRes
+	subRemote
+)
+
+// subCont adapts one strand of a gtxn to sim.Cont without allocation.
+type subCont struct {
+	t    *gtxn
+	kind uint8
+}
+
+func (s *subCont) Fire() { s.t.subFire(s.kind) }
+
+func (p *Protocol) allocGtxn() *gtxn {
+	t := p.freeG
+	if t != nil {
+		p.freeG = t.next
+		t.next = nil
+		t.kind, t.step, t.refs = 0, 0, 0
+		t.resolved, t.completed, t.cacheDone = false, false, false
+		t.remoteArrived, t.mappedStaged = false, false
+		t.resolution = ServedCache
+	} else {
+		t = &gtxn{p: p}
+		t.cacheSub = subCont{t: t, kind: subCache}
+		t.resSub = subCont{t: t, kind: subRes}
+		t.remoteSub = subCont{t: t, kind: subRemote}
+	}
+	return t
+}
+
+func (p *Protocol) freeGtxn(t *gtxn) {
+	t.done = nil
+	t.doneS = nil
+	t.next = p.freeG
+	p.freeG = t
+}
+
+// serve fires the completion callback and recycles single-strand nodes.
+func (t *gtxn) serve(s Served) {
+	p := t.p
+	d, ds := t.done, t.doneS
+	p.freeGtxn(t)
+	if ds != nil {
+		ds(s)
+	} else {
+		d.Fire()
+	}
+}
+
+// Fire advances the main continuation (hit paths and the ideal protocol).
+func (t *gtxn) Fire() {
+	p := t.p
+	switch t.kind {
+	case gCache:
+		t.serve(ServedCache)
+	case gLocal:
+		t.serve(ServedLocalSPM)
+	case gIdealRemote:
+		switch t.step {
+		case 0:
+			t.step = 1
+			p.spms[t.aux].RemoteAccess(t.isStore, t)
+		case 1:
+			size := dataBytes
+			if t.isStore {
+				size = ctrlBytes
+			}
+			t.step = 2
+			p.mesh.SendCont(t.aux, t.core, size, noc.CohProt, t)
+		case 2:
+			t.serve(ServedRemoteSPM)
+		}
+	default:
+		panic(fmt.Sprintf("core: bad gtxn kind %d", t.kind))
+	}
+}
+
+// subFire handles one filter-miss strand completing.
+func (t *gtxn) subFire(k uint8) {
+	p := t.p
+	t.refs--
+	switch k {
+	case subCache:
+		t.cacheDone = true
+	case subRes:
+		t.resolved = true
+		if t.mappedStaged {
+			t.resolution = ServedRemoteSPM
+		} else {
+			t.resolution = ServedCache
+			p.filterInsert(t.core, t.base)
+		}
+	case subRemote:
+		t.remoteArrived = true
+		t.resolved = true
+		t.resolution = ServedRemoteSPM
+	}
+	t.finishIfReady()
+	if t.refs == 0 && t.completed {
+		p.freeGtxn(t)
+	}
+}
+
+// finishIfReady applies the completion rules of Fig. 5c/5d: a cache
+// resolution retires when the buffered access is done; a remote-SPM
+// resolution retires on data arrival (stores also wait for the parallel L1
+// write; loads discard it without waiting).
+func (t *gtxn) finishIfReady() {
+	if !t.resolved || t.completed {
+		return
+	}
+	switch t.resolution {
+	case ServedCache:
+		if t.cacheDone {
+			t.completed = true
+			t.fire(ServedCache)
+		}
+	case ServedRemoteSPM:
+		if t.remoteArrived && (t.cacheDone || !t.isStore) {
+			t.completed = true
+			t.fire(ServedRemoteSPM)
+		}
+	}
+}
+
+func (t *gtxn) fire(s Served) {
+	if t.doneS != nil {
+		t.doneS(s)
+		return
+	}
+	t.done.Fire()
+}
+
+// pnode is a pooled protocol-message node: FilterDir transactions, SPMDir
+// broadcast probes, filter invalidations and eviction notices.
+type pnode struct {
+	p      *Protocol
+	next   *pnode
+	gt     *gtxn
+	parent *pnode
+	kind   uint8
+	step   uint8
+	flag   bool // isStore
+	mapped bool
+	core   int // requesting core
+	aux    int // probe / invalidation target core
+	base   uint64
+	pend   int
+	anyMap bool
+}
+
+const (
+	pkNotify      uint8 = iota // dma-get map notice at the FilterDir home
+	pkFInv                     // filter invalidation at one core
+	pkEvict                    // filter-eviction sharer clear at the home
+	pkResolve                  // FilterDir resolve transaction (Fig. 6b)
+	pkBroadcast                // one SPMDir probe strand (step 0 probe, 1 ack)
+	pkRemoteServe              // remote SPM served; data/ack to the requester
+)
+
+func (p *Protocol) allocPnode() *pnode {
+	n := p.freeP
+	if n != nil {
+		p.freeP = n.next
+		*n = pnode{p: p}
+	} else {
+		n = &pnode{p: p}
+	}
+	return n
+}
+
+func (p *Protocol) freePnode(n *pnode) {
+	n.gt = nil
+	n.parent = nil
+	n.next = p.freeP
+	p.freeP = n
+}
+
+func (n *pnode) Fire() {
+	p := n.p
+	switch n.kind {
+	case pkNotify:
+		home := p.fdirHome(n.base)
+		base := n.base
+		p.freePnode(n)
+		p.set.Inc(hFDirLk)
+		i := home.find(base)
+		if i < 0 {
+			return // nobody filters it; nothing to do
+		}
+		sharers := home.sharers[i]
+		home.remove(i)
+		p.invalidateFilters(home.node, base, sharers)
+	case pkFInv:
+		aux, base := n.aux, n.base
+		p.freePnode(n)
+		if p.filters[aux].invalidate(base) {
+			p.set.Inc(hFilterInval)
+		}
+	case pkEvict:
+		home := p.fdirHome(n.base)
+		base, core := n.base, n.core
+		p.freePnode(n)
+		if i := home.find(base); i >= 0 {
+			home.sharers[i] &^= 1 << uint(core)
+		}
+	case pkResolve:
+		p.resolveStep(n)
+	case pkBroadcast:
+		p.broadcastStep(n)
+	case pkRemoteServe:
+		gt, c, req, isStore := n.gt, n.aux, n.core, n.flag
+		p.freePnode(n)
+		size := dataBytes
+		if isStore {
+			size = ctrlBytes // store ack
+		}
+		p.mesh.SendCont(c, req, size, noc.CohProt, &gt.remoteSub)
+	default:
+		panic(fmt.Sprintf("core: bad pnode kind %d", n.kind))
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Tracking SPM contents (paper §3.3)
 
 // NotifyMap implements dma.MapNotifier: a dma-get maps the chunk at gmAddr
@@ -345,22 +865,22 @@ func (p *Protocol) NotifyMap(core int, gmAddr, spmAddr uint64, bytes int) {
 	d := p.spmdirs[core]
 	if d.valid[bufIdx] {
 		old := d.base[bufIdx]
-		if e, ok := p.oracle[old]; ok && e.core == core && e.bufIdx == bufIdx {
-			delete(p.oracle, old)
+		if c, b, ok := p.oracle.get(old); ok && c == core && b == bufIdx {
+			p.oracle.delete(old)
 		}
 	}
 	// Array sections are private to one thread (fork-join, §2.2), so a
 	// chunk lives in at most one SPM. Re-mapping by another core migrates
 	// it: the previous mapper's SPMDir entry is cleared.
-	if prev, ok := p.oracle[base]; ok && prev.core != core {
-		pd := p.spmdirs[prev.core]
-		if pd.valid[prev.bufIdx] && pd.base[prev.bufIdx] == base {
-			pd.valid[prev.bufIdx] = false
+	if pc, pb, ok := p.oracle.get(base); ok && pc != core {
+		pd := p.spmdirs[pc]
+		if pd.valid[pb] && pd.base[pb] == base {
+			pd.valid[pb] = false
 		}
 	}
 	d.set(bufIdx, base)
-	p.oracle[base] = oracleEntry{core: core, bufIdx: bufIdx}
-	p.set.Inc("spmdir.updates")
+	p.oracle.put(base, core, bufIdx)
+	p.set.Inc(hSPMDirUpd)
 
 	if p.ideal {
 		return // oracle coherence: no structures to maintain
@@ -369,16 +889,10 @@ func (p *Protocol) NotifyMap(core int, gmAddr, spmAddr uint64, bytes int) {
 	// Fig. 6a: invalidation message to the FilterDir home, which fans out
 	// to every core in the sharer list.
 	home := p.fdirHome(base)
-	p.mesh.Send(core, home.node, ctrlBytes, noc.CohProt, func() {
-		p.set.Inc("fdir.lookups")
-		i := home.find(base)
-		if i < 0 {
-			return // nobody filters it; nothing to do
-		}
-		sharers := home.sharers[i]
-		home.remove(i)
-		p.invalidateFilters(home.node, base, sharers)
-	})
+	n := p.allocPnode()
+	n.kind = pkNotify
+	n.base = base
+	p.mesh.SendCont(core, home.node, ctrlBytes, noc.CohProt, n)
 }
 
 // invalidateFilters sends filter-invalidation messages from the FilterDir
@@ -388,132 +902,118 @@ func (p *Protocol) invalidateFilters(fromNode int, base uint64, sharers uint64) 
 		if sharers&(1<<uint(c)) == 0 {
 			continue
 		}
-		c := c
-		p.mesh.Send(fromNode, c, ctrlBytes, noc.CohProt, func() {
-			if p.filters[c].invalidate(base) {
-				p.set.Inc("filter.invalidations")
-			}
-		})
+		n := p.allocPnode()
+		n.kind = pkFInv
+		n.aux = c
+		n.base = base
+		p.mesh.SendCont(fromNode, c, ctrlBytes, noc.CohProt, n)
 	}
 }
 
 // Mapped reports where a GM base address is currently mapped (oracle view;
 // used by tests, the ideal protocol, and assertions).
 func (p *Protocol) Mapped(base uint64) (core int, ok bool) {
-	e, ok := p.oracle[base]
-	return e.core, ok
+	core, _, ok = p.oracle.get(base)
+	return core, ok
 }
 
 // ---------------------------------------------------------------------------
 // Guarded accesses (paper §3.2, Fig. 5)
 
-// GuardedAccess executes a potentially incoherent access for core at
-// GM virtual address addr. done receives which storage served it.
+// GuardedAccess executes a potentially incoherent access for core at GM
+// virtual address addr. done receives which storage served it. Callers that
+// do not care which storage served the access should use GuardedAccessCont.
 func (p *Protocol) GuardedAccess(core int, addr, pc uint64, isStore bool, done func(Served)) {
-	p.set.Inc("guarded.accesses")
+	t := p.allocGtxn()
+	t.core = core
+	t.isStore = isStore
+	t.doneS = done
+	p.guarded(t, addr, pc)
+}
+
+// GuardedAccessCont is the allocation-free fast path: done fires when the
+// access completes, whichever storage served it.
+func (p *Protocol) GuardedAccessCont(core int, addr, pc uint64, isStore bool, done sim.Cont) {
+	if done == nil {
+		done = sim.Nop
+	}
+	t := p.allocGtxn()
+	t.core = core
+	t.isStore = isStore
+	t.done = done
+	p.guarded(t, addr, pc)
+}
+
+func (p *Protocol) guarded(t *gtxn, addr, pc uint64) {
+	core, isStore := t.core, t.isStore
+	p.set.Inc(hGuardedAcc)
 	base := addr & p.baseMask[core]
 	off := addr & p.offsetMask[core]
+	t.base = base
 
 	if p.ideal {
-		p.idealAccess(core, addr, pc, base, off, isStore, done)
+		p.idealAccess(t, addr, pc, base, off)
 		return
 	}
 
 	// The filter and SPMDir CAMs are probed in parallel with the normal
 	// TLB+L1 path (their latency hides behind it).
-	p.set.Inc("spmdir.lookups")
-	p.set.Inc("filter.lookups")
+	p.set.Inc(hSPMDirLk)
+	p.set.Inc(hFilterLk)
 
 	if bufIdx, ok := p.spmdirs[core].lookup(base); ok {
 		// Fig. 5b — mapped to the local SPM.
-		p.set.Inc("spmdir.hits")
-		p.localSPMAccess(core, bufIdx, off, pc, addr, isStore, done)
+		p.set.Inc(hSPMDirHit)
+		p.localSPMAccess(t, bufIdx, off, pc, addr)
 		return
 	}
 
 	if p.filters[core].lookup(base) {
 		// Fig. 5a — known not mapped anywhere: the L1 serves it.
-		p.set.Inc("filter.hits")
-		p.cacheAccess(core, addr, pc, isStore, func() { done(ServedCache) })
+		p.set.Inc(hFilterHit)
+		t.kind = gCache
+		p.cacheAccess(core, addr, pc, isStore, t)
 		return
 	}
 
 	// Fig. 5c/5d — both CAMs missed: ask the FilterDir. The cache access
 	// proceeds in parallel and is buffered in the MSHR (loads) until the
 	// resolution arrives.
-	p.set.Inc("filter.misses")
-	cacheDone := false
-	resolved := false
-	completed := false
-	var resolution Served
-	remoteDataArrived := false
-
-	finishIfReady := func() {
-		if !resolved || completed {
-			return
-		}
-		switch resolution {
-		case ServedCache:
-			if cacheDone {
-				completed = true
-				done(ServedCache)
-			}
-		case ServedRemoteSPM:
-			if remoteDataArrived && (cacheDone || !isStore) {
-				// Loads discard the buffered cache access; its
-				// completion is not waited on. Stores also
-				// write the L1, so they retire when both done.
-				completed = true
-				done(ServedRemoteSPM)
-			}
-		}
-	}
-
-	p.cacheAccess(core, addr, pc, isStore, func() {
-		cacheDone = true
-		finishIfReady()
-	})
+	p.set.Inc(hFilterMiss)
+	t.kind = gMiss
+	t.refs = 2 // cache strand + resolution strand
+	p.cacheAccess(core, addr, pc, isStore, &t.cacheSub)
 
 	home := p.fdirHome(base)
-	p.mesh.Send(core, home.node, ctrlBytes, noc.CohProt, func() {
-		p.fdirResolve(home, core, base, off, pc, isStore,
-			func(mapped bool) { // resolution from FilterDir
-				resolved = true
-				if mapped {
-					resolution = ServedRemoteSPM
-				} else {
-					resolution = ServedCache
-					p.filterInsert(core, base)
-				}
-				finishIfReady()
-			},
-			func() { // data/ack from the remote SPM (Fig. 5d)
-				remoteDataArrived = true
-				resolved = true
-				resolution = ServedRemoteSPM
-				finishIfReady()
-			})
-	})
+	r := p.allocPnode()
+	r.kind = pkResolve
+	r.gt = t
+	r.core = core
+	r.base = base
+	r.flag = isStore
+	p.mesh.SendCont(core, home.node, ctrlBytes, noc.CohProt, r)
 }
 
 // localSPMAccess is Fig. 5b: divert to the local SPM. The parallel L1 access
 // result is discarded for loads; guarded stores always also write the L1
 // (they may alias a read-only SPM buffer that will never be written back).
-func (p *Protocol) localSPMAccess(core, bufIdx int, off, pc, gmAddr uint64, isStore bool, done func(Served)) {
+func (p *Protocol) localSPMAccess(t *gtxn, bufIdx int, off, pc, gmAddr uint64) {
+	core, isStore := t.core, t.isStore
 	spmAddr := p.amap.AddrFor(core, uint64(bufIdx)*uint64(p.bufSize[core])+off)
 	if p.recheck != nil && p.recheck(core, spmAddr, isStore) {
-		p.set.Inc("lsq.flushes")
+		p.set.Inc(hLSQFlush)
 	}
-	p.set.Inc("guarded.l1_probe_discarded")
+	p.set.Inc(hDiscarded)
 	if isStore {
-		p.cacheAccess(core, gmAddr, pc, true, func() {})
+		p.cacheAccess(core, gmAddr, pc, true, sim.Nop)
 	}
-	p.spms[core].Access(isStore, func() { done(ServedLocalSPM) })
+	t.kind = gLocal
+	p.spms[core].Access(isStore, t)
 }
 
 // cacheAccess issues the normal coherent GM access for a guarded
 // instruction.
-func (p *Protocol) cacheAccess(core int, addr, pc uint64, isStore bool, done func()) {
+func (p *Protocol) cacheAccess(core int, addr, pc uint64, isStore bool, done sim.Cont) {
 	if isStore {
 		p.gm.Write(core, addr, pc, done)
 	} else {
@@ -525,140 +1025,163 @@ func (p *Protocol) cacheAccess(core int, addr, pc uint64, isStore bool, done fun
 // FilterDir when a valid entry is displaced (§3.3).
 func (p *Protocol) filterInsert(core int, base uint64) {
 	evicted, wasValid := p.filters[core].insert(base)
-	p.set.Inc("filter.inserts")
+	p.set.Inc(hFilterIns)
 	if !wasValid {
 		return
 	}
-	p.set.Inc("filter.evictions")
+	p.set.Inc(hFilterEvict)
 	home := p.fdirHome(evicted)
-	p.mesh.Send(core, home.node, ctrlBytes, noc.CohProt, func() {
-		if i := home.find(evicted); i >= 0 {
-			home.sharers[i] &^= 1 << uint(core)
-		}
-	})
+	n := p.allocPnode()
+	n.kind = pkEvict
+	n.core = core
+	n.base = evicted
+	p.mesh.SendCont(core, home.node, ctrlBytes, noc.CohProt, n)
 }
 
-// fdirResolve runs the FilterDir side of a filter miss (Fig. 6b). resolved
-// is invoked at the requesting core with whether the base is mapped to some
-// SPM; remoteServed fires when a remote SPM has served the access (5d).
-func (p *Protocol) fdirResolve(home *fdirSlice, req int, base, off, pc uint64, isStore bool,
-	resolved func(bool), remoteServed func()) {
+// resolveStep runs the FilterDir side of a filter miss (Fig. 6b). The node
+// arrives at the home slice, serializes on the base, and either ACKs
+// directly (FilterDir hit: not mapped) or broadcasts to every SPMDir.
+func (p *Protocol) resolveStep(n *pnode) {
+	home := p.fdirHome(n.base)
+	req, base := n.core, n.base
 
 	// Serialize transactions on the same base at the home slice.
-	if q, busy := home.busy[base]; busy {
-		home.busy[base] = append(q, func() {
-			p.fdirResolve(home, req, base, off, pc, isStore, resolved, remoteServed)
-		})
+	if !home.busy.acquire(base) {
+		home.busy.queue(base, n)
 		return
 	}
-	home.busy[base] = nil
-	releaseBusy := func() {
-		q := home.busy[base]
-		delete(home.busy, base)
-		// Deferred transactions re-enter fdirResolve and re-serialize.
-		for _, fn := range q {
-			p.eng.Schedule(0, fn)
-		}
-	}
 
-	p.set.Inc("fdir.lookups")
+	p.set.Inc(hFDirLk)
 	if i := home.find(base); i >= 0 {
 		// FilterDir hit: not mapped to any SPM. Add sharer, ACK.
 		home.sharers[i] |= 1 << uint(req)
 		home.touch(i)
-		p.mesh.Send(home.node, req, ctrlBytes, noc.CohProt, func() { resolved(false) })
-		releaseBusy()
+		gt := n.gt
+		p.freePnode(n)
+		gt.mappedStaged = false
+		p.mesh.SendCont(home.node, req, ctrlBytes, noc.CohProt, &gt.resSub)
+		p.releaseBusy(home, base)
 		return
 	}
 
 	// FilterDir miss: broadcast to every core's SPMDir (Fig. 6b step 3).
-	p.set.Inc("fdir.broadcasts")
-	pending := p.cfg.Cores
-	anyMapped := false
-	collect := func(mapped bool) {
-		if mapped {
-			anyMapped = true
+	p.set.Inc(hFDirBcast)
+	n.pend = p.cfg.Cores
+	n.anyMap = false
+	for c := 0; c < p.cfg.Cores; c++ {
+		bc := p.allocPnode()
+		bc.kind = pkBroadcast
+		bc.parent = n
+		bc.gt = n.gt
+		bc.core = req
+		bc.aux = c
+		bc.base = base
+		bc.flag = n.flag
+		p.mesh.SendCont(home.node, c, ctrlBytes, noc.CohProt, bc)
+	}
+}
+
+// releaseBusy unlocks base at the home slice and reschedules every deferred
+// transaction; they re-enter resolveStep and re-serialize in order.
+func (p *Protocol) releaseBusy(home *fdirSlice, base uint64) {
+	for n := home.busy.release(base); n != nil; {
+		nx := n.next
+		n.next = nil
+		p.eng.ScheduleCont(0, n)
+		n = nx
+	}
+}
+
+// broadcastStep runs one SPMDir probe strand: step 0 probes core aux, step 1
+// delivers the ack at the home slice; the last ack resolves the transaction.
+func (p *Protocol) broadcastStep(n *pnode) {
+	home := p.fdirHome(n.base)
+	if n.step == 0 {
+		c, base, req, isStore := n.aux, n.base, n.core, n.flag
+		p.set.Inc(hSPMDirLk)
+		_, ok := p.spmdirs[c].lookup(base)
+		if ok {
+			// Normally a remote core; c == req can happen only when
+			// a dma-get mapped the chunk locally while this access
+			// was in flight — the local SPM then serves it through
+			// the same path.
+			p.set.Inc(hSPMDirRHit)
+			// Fig. 5d: this SPM serves the access directly and
+			// responds to the requesting core.
+			rs := p.allocPnode()
+			rs.kind = pkRemoteServe
+			rs.gt = n.gt
+			rs.core = req
+			rs.aux = c
+			rs.flag = isStore
+			n.gt.refs++
+			p.spms[c].RemoteAccess(isStore, rs)
 		}
-		pending--
-		if pending > 0 {
-			return
-		}
-		if anyMapped {
-			// Mapped to a remote SPM: NACK the requester (no
-			// filter update); the remote core serves the access.
-			p.mesh.Send(home.node, req, ctrlBytes, noc.CohProt, func() { resolved(true) })
-			releaseBusy()
-			return
-		}
-		// Nobody maps it: insert into the FilterDir with the
-		// requester as first sharer; evictions invalidate filters.
-		vb, vs, evicted := home.insert(base, 1<<uint(req))
-		if evicted {
-			p.set.Inc("fdir.evictions")
-			p.invalidateFilters(home.node, vb, vs)
-		}
-		p.mesh.Send(home.node, req, ctrlBytes, noc.CohProt, func() { resolved(false) })
-		releaseBusy()
+		// ...and ACK the probe result to the FilterDir.
+		n.step = 1
+		n.mapped = ok
+		p.mesh.SendCont(c, home.node, ctrlBytes, noc.CohProt, n)
+		return
 	}
 
-	for c := 0; c < p.cfg.Cores; c++ {
-		c := c
-		p.mesh.Send(home.node, c, ctrlBytes, noc.CohProt, func() {
-			p.set.Inc("spmdir.lookups")
-			_, ok := p.spmdirs[c].lookup(base)
-			if ok {
-				// Normally a remote core; c == req can happen
-				// only when a dma-get mapped the chunk locally
-				// while this access was in flight — the local
-				// SPM then serves it through the same path.
-				p.set.Inc("spmdir.remote_hits")
-				// Fig. 5d: this SPM serves the access directly
-				// and responds to the requesting core.
-				p.spms[c].RemoteAccess(isStore, func() {
-					size := dataBytes
-					if isStore {
-						size = ctrlBytes // store ack
-					}
-					p.mesh.Send(c, req, size, noc.CohProt, remoteServed)
-				})
-				// ...and ACKs "mapped" to the FilterDir.
-				p.mesh.Send(c, home.node, ctrlBytes, noc.CohProt, func() { collect(true) })
-				return
-			}
-			p.mesh.Send(c, home.node, ctrlBytes, noc.CohProt, func() { collect(ok) })
-		})
+	parent := n.parent
+	mapped := n.mapped
+	p.freePnode(n)
+	if mapped {
+		parent.anyMap = true
 	}
+	parent.pend--
+	if parent.pend > 0 {
+		return
+	}
+
+	req, base, gt, anyMap := parent.core, parent.base, parent.gt, parent.anyMap
+	p.freePnode(parent)
+	if anyMap {
+		// Mapped to a remote SPM: NACK the requester (no filter
+		// update); the remote core serves the access.
+		gt.mappedStaged = true
+		p.mesh.SendCont(home.node, req, ctrlBytes, noc.CohProt, &gt.resSub)
+		p.releaseBusy(home, base)
+		return
+	}
+	// Nobody maps it: insert into the FilterDir with the requester as
+	// first sharer; evictions invalidate filters.
+	vb, vs, evicted := home.insert(base, 1<<uint(req))
+	if evicted {
+		p.set.Inc(hFDirEvict)
+		p.invalidateFilters(home.node, vb, vs)
+	}
+	gt.mappedStaged = false
+	p.mesh.SendCont(home.node, req, ctrlBytes, noc.CohProt, &gt.resSub)
+	p.releaseBusy(home, base)
 }
 
 // idealAccess resolves a guarded access with oracle knowledge: no CAMs, no
 // protocol traffic (paper §5.3's "ideal coherence" baseline). Data that
 // physically lives in a remote SPM still has to cross the NoC.
-func (p *Protocol) idealAccess(core int, addr, pc, base, off uint64, isStore bool, done func(Served)) {
-	e, ok := p.oracle[base]
+func (p *Protocol) idealAccess(t *gtxn, addr, pc, base, off uint64) {
+	core, isStore := t.core, t.isStore
+	ocore, obuf, ok := p.oracle.get(base)
 	switch {
 	case !ok:
-		p.cacheAccess(core, addr, pc, isStore, func() { done(ServedCache) })
-	case e.core == core:
-		if p.recheck != nil && p.recheck(core, p.amap.AddrFor(core, uint64(e.bufIdx)*uint64(p.bufSize[core])+off), isStore) {
-			p.set.Inc("lsq.flushes")
+		t.kind = gCache
+		p.cacheAccess(core, addr, pc, isStore, t)
+	case ocore == core:
+		if p.recheck != nil && p.recheck(core, p.amap.AddrFor(core, uint64(obuf)*uint64(p.bufSize[core])+off), isStore) {
+			p.set.Inc(hLSQFlush)
 		}
 		if isStore {
-			p.cacheAccess(core, addr, pc, true, func() {})
+			p.cacheAccess(core, addr, pc, true, sim.Nop)
 		}
-		p.spms[core].Access(isStore, func() { done(ServedLocalSPM) })
+		t.kind = gLocal
+		p.spms[core].Access(isStore, t)
 	default:
-		remote := e.core
-		p.mesh.Send(core, remote, ctrlBytes, noc.CohProt, func() {
-			p.spms[remote].RemoteAccess(isStore, func() {
-				size := dataBytes
-				if isStore {
-					size = ctrlBytes
-				}
-				p.mesh.Send(remote, core, size, noc.CohProt, func() { done(ServedRemoteSPM) })
-			})
-		})
+		t.kind = gIdealRemote
+		t.aux = ocore
+		p.mesh.SendCont(core, ocore, ctrlBytes, noc.CohProt, t)
 		if isStore {
-			p.cacheAccess(core, addr, pc, true, func() {})
+			p.cacheAccess(core, addr, pc, true, sim.Nop)
 		}
 	}
 }
@@ -670,8 +1193,8 @@ func (p *Protocol) idealAccess(core int, addr, pc, base, off uint64, isStore boo
 // the filter (i.e. SPMDir misses) — the quantity of paper Fig. 8. Returns 1
 // when the filter was never exercised (e.g. SP has no guarded accesses).
 func (p *Protocol) FilterHitRatio() float64 {
-	h := p.set.Get("filter.hits")
-	m := p.set.Get("filter.misses")
+	h := p.set.Val(hFilterHit)
+	m := p.set.Val(hFilterMiss)
 	if h+m == 0 {
 		return 1
 	}

@@ -24,14 +24,14 @@ import (
 // DMA controllers and the SPM coherence protocol.
 type Ops interface {
 	// IFetch fetches the instruction-cache line holding pc.
-	IFetch(core int, pc uint64, done func())
+	IFetch(core int, pc uint64, done sim.Cont)
 	// Mem executes a memory instruction (any isa kind with IsMemory).
-	Mem(core int, inst isa.Inst, done func())
+	Mem(core int, inst isa.Inst, done sim.Cont)
 	// DMAEnqueue offers a DMAGet/DMAPut to the core's DMAC; false means
 	// the command queue is full and the core must retry.
 	DMAEnqueue(core int, inst isa.Inst) bool
-	// DMASync calls done once all transfers tagged inst.Tag are complete.
-	DMASync(core int, tag int, done func())
+	// DMASync fires done once all transfers tagged inst.Tag are complete.
+	DMASync(core int, tag int, done sim.Cont)
 	// SetBufSize programs the protocol's mask registers.
 	SetBufSize(core int, bytes int)
 }
@@ -104,6 +104,59 @@ type Core struct {
 	finished   bool
 	finishTime sim.Time
 	onFinish   func()
+
+	// Cached continuations: each recurring wakeup closure is allocated
+	// once per core instead of once per event. Load/store completions need
+	// the access address for the LSQ mirror, so they ride pooled memTok
+	// nodes off freeToks instead.
+	resume      sim.Cont // flushBudget expiry: account + step
+	fetchDone   sim.Cont // IFetch completion
+	dmaRetry    sim.Cont // DMAC queue-full retry
+	syncDone    sim.Cont // DMASync completion
+	barrierDone sim.Cont // barrier release
+	freeToks    *memTok
+}
+
+// memTok is a pooled load/store completion token: the callback state (core,
+// address, direction) lives on a recycled node, so issuing a memory access
+// allocates nothing in steady state.
+type memTok struct {
+	c     *Core
+	addr  uint64
+	store bool
+	next  *memTok // free-list link
+}
+
+// Fire completes the access. The node returns to the pool first: unblocking
+// the core can immediately issue a new access that reuses it.
+func (t *memTok) Fire() {
+	c := t.c
+	addr, store := t.addr, t.store
+	t.next = c.freeToks
+	c.freeToks = t
+	if store {
+		c.stores--
+		c.lsqRemove(addr, true)
+		c.unblockIf(blockStore)
+	} else {
+		c.loads--
+		c.lsqRemove(addr, false)
+		c.unblockIf(blockLoad)
+	}
+	c.maybeFinish()
+}
+
+// newTok takes a completion token off the free list.
+func (c *Core) newTok(addr uint64, store bool) *memTok {
+	t := c.freeToks
+	if t != nil {
+		c.freeToks = t.next
+		t.next = nil
+	} else {
+		t = &memTok{c: c}
+	}
+	t.addr, t.store = addr, store
+	return t
 }
 
 // NewCore builds core id running prog. bar may be nil when the program has
@@ -112,11 +165,21 @@ func NewCore(eng *sim.Engine, id int, p Params, ops Ops, prog isa.Program, bar *
 	if p.IssueWidth <= 0 || p.MLP <= 0 || p.LineSize <= 0 {
 		panic(fmt.Sprintf("cpu: invalid params %+v", p))
 	}
-	return &Core{
+	c := &Core{
 		eng: eng, id: id, p: p, ops: ops, prog: prog, bar: bar,
 		lsq:      make([]lsqEntry, p.LQEntries+p.SQEntries),
 		onFinish: onFinish,
 	}
+	c.resume = sim.AsCont(func() { c.account(); c.step() })
+	c.fetchDone = sim.AsCont(func() {
+		c.fetches--
+		c.unblockIf(blockIFetch)
+		c.maybeFinish()
+	})
+	c.dmaRetry = sim.AsCont(func() { c.unblockIf(blockDMA) })
+	c.syncDone = sim.AsCont(func() { c.unblockIf(blockSync) })
+	c.barrierDone = sim.AsCont(func() { c.unblockIf(blockBarrier) })
+	return c
 }
 
 // Start begins execution (call once; the engine drives everything after).
@@ -166,10 +229,7 @@ func (c *Core) flushBudget() bool {
 	}
 	d := c.budget
 	c.budget = 0
-	c.eng.Schedule(d, func() {
-		c.account()
-		c.step()
-	})
+	c.eng.ScheduleCont(d, c.resume)
 	return true
 }
 
@@ -196,12 +256,7 @@ func (c *Core) step() {
 			c.lastFetchLine = line
 			c.fetches++
 			c.ifetchOps++
-			pc := inst.PC
-			c.ops.IFetch(c.id, pc, func() {
-				c.fetches--
-				c.unblockIf(blockIFetch)
-				c.maybeFinish()
-			})
+			c.ops.IFetch(c.id, inst.PC, c.fetchDone)
 		}
 
 		if !c.execute(inst) {
@@ -276,12 +331,7 @@ func (c *Core) execute(inst isa.Inst) bool {
 		c.chargeIssue(1)
 		c.lsqInsert(inst.Addr, false)
 		c.loads++
-		c.ops.Mem(c.id, inst, func() {
-			c.loads--
-			c.lsqRemove(inst.Addr, false)
-			c.unblockIf(blockLoad)
-			c.maybeFinish()
-		})
+		c.ops.Mem(c.id, inst, c.newTok(inst.Addr, false))
 		return true
 
 	case isa.Store, isa.GuardedStore, isa.SPMStore:
@@ -296,12 +346,7 @@ func (c *Core) execute(inst isa.Inst) bool {
 		c.chargeIssue(1)
 		c.lsqInsert(inst.Addr, true)
 		c.stores++
-		c.ops.Mem(c.id, inst, func() {
-			c.stores--
-			c.lsqRemove(inst.Addr, true)
-			c.unblockIf(blockStore)
-			c.maybeFinish()
-		})
+		c.ops.Mem(c.id, inst, c.newTok(inst.Addr, true))
 		return true
 
 	case isa.DMAGet, isa.DMAPut:
@@ -311,7 +356,7 @@ func (c *Core) execute(inst isa.Inst) bool {
 		if !c.ops.DMAEnqueue(c.id, inst) {
 			// Command queue full: retry shortly.
 			c.block(blockDMA, inst)
-			c.eng.Schedule(8, func() { c.unblockIf(blockDMA) })
+			c.eng.ScheduleCont(8, c.dmaRetry)
 			return false
 		}
 		c.retired++
@@ -325,7 +370,7 @@ func (c *Core) execute(inst isa.Inst) bool {
 		c.retired++
 		c.block(blockSync, isa.Inst{})
 		c.havePend = false
-		c.ops.DMASync(c.id, inst.Tag, func() { c.unblockIf(blockSync) })
+		c.ops.DMASync(c.id, inst.Tag, c.syncDone)
 		return false
 
 	case isa.SetBufSize:
@@ -344,7 +389,7 @@ func (c *Core) execute(inst isa.Inst) bool {
 		}
 		c.block(blockBarrier, isa.Inst{})
 		c.havePend = false
-		c.bar.Arrive(func() { c.unblockIf(blockBarrier) })
+		c.bar.Arrive(c.barrierDone)
 		return false
 
 	case isa.PhaseBegin:
@@ -424,7 +469,7 @@ type Barrier struct {
 	eng     *sim.Engine
 	n       int
 	arrived int
-	waiters []func()
+	waiters []sim.Cont // reused across epochs
 	epochs  uint64
 }
 
@@ -436,20 +481,22 @@ func NewBarrier(eng *sim.Engine, n int) *Barrier {
 	return &Barrier{eng: eng, n: n}
 }
 
-// Arrive registers one core; done runs when all n have arrived.
-func (b *Barrier) Arrive(done func()) {
+// Arrive registers one core; done fires when all n have arrived.
+func (b *Barrier) Arrive(done sim.Cont) {
 	b.arrived++
 	b.waiters = append(b.waiters, done)
 	if b.arrived < b.n {
 		return
 	}
-	ws := b.waiters
 	b.arrived = 0
-	b.waiters = nil
 	b.epochs++
-	for _, w := range ws {
-		b.eng.Schedule(1, w)
+	// ScheduleCont copies each continuation into the event queue, so the
+	// backing array can be truncated and reused for the next epoch.
+	for i, w := range b.waiters {
+		b.eng.ScheduleCont(1, w)
+		b.waiters[i] = nil
 	}
+	b.waiters = b.waiters[:0]
 }
 
 // Epochs returns how many times the barrier has released.

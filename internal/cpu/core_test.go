@@ -24,10 +24,10 @@ func newFakeOps(eng *sim.Engine) *fakeOps {
 	return &fakeOps{eng: eng, memLat: 5, ifLat: 2, syncLat: 20, bufSizes: map[int]int{}}
 }
 
-func (f *fakeOps) IFetch(core int, pc uint64, done func()) { f.eng.Schedule(f.ifLat, done) }
-func (f *fakeOps) Mem(core int, inst isa.Inst, done func()) {
+func (f *fakeOps) IFetch(core int, pc uint64, done sim.Cont) { f.eng.ScheduleCont(f.ifLat, done) }
+func (f *fakeOps) Mem(core int, inst isa.Inst, done sim.Cont) {
 	f.memCalls = append(f.memCalls, inst)
-	f.eng.Schedule(f.memLat, done)
+	f.eng.ScheduleCont(f.memLat, done)
 }
 func (f *fakeOps) DMAEnqueue(core int, inst isa.Inst) bool {
 	if f.dmaFail > 0 {
@@ -37,8 +37,8 @@ func (f *fakeOps) DMAEnqueue(core int, inst isa.Inst) bool {
 	f.dmaCalls = append(f.dmaCalls, inst)
 	return true
 }
-func (f *fakeOps) DMASync(core, tag int, done func()) { f.eng.Schedule(f.syncLat, done) }
-func (f *fakeOps) SetBufSize(core, bytes int)         { f.bufSizes[core] = bytes }
+func (f *fakeOps) DMASync(core, tag int, done sim.Cont) { f.eng.ScheduleCont(f.syncLat, done) }
+func (f *fakeOps) SetBufSize(core, bytes int)           { f.bufSizes[core] = bytes }
 
 func params() Params {
 	return Params{IssueWidth: 2, PipelineDepth: 13, LQEntries: 8, SQEntries: 4, MLP: 2, LineSize: 64}

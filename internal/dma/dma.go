@@ -21,9 +21,9 @@ import (
 // (implemented by coherence.Hierarchy).
 type GM interface {
 	// DMARead fetches one line for a dma-get.
-	DMARead(core int, line uint64, done func())
+	DMARead(core int, line uint64, done sim.Cont)
 	// DMAWrite pushes one line for a dma-put, invalidating cached copies.
-	DMAWrite(core int, line uint64, done func())
+	DMAWrite(core int, line uint64, done sim.Cont)
 }
 
 // MapNotifier observes chunk mappings. The SPM coherence protocol registers
@@ -61,8 +61,18 @@ type Controller struct {
 	busInUse   int
 	processing bool
 
-	outstanding map[int]int      // tag -> in-flight line transfers
-	waiters     map[int][]func() // tag -> dma-synch continuations
+	// Issue state of the in-flight command (valid while processing; the
+	// command queue is in-order, so there is exactly one). Keeping it on
+	// the controller lets every pace/retry event reuse issueCont instead
+	// of capturing (cmd, i, n) in a fresh closure per line.
+	cur       command
+	curLine   int
+	curN      int
+	issueCont sim.Cont
+	freeDones *lineDone
+
+	outstanding map[int]int        // tag -> in-flight line transfers
+	waiters     map[int][]sim.Cont // tag -> dma-synch continuations
 
 	gets, puts, lineXfers uint64
 	rejected              uint64
@@ -79,7 +89,7 @@ func NewController(eng *sim.Engine, core int, gm GM, local *spm.SPM, notifier Ma
 		panic(fmt.Sprintf("dma: invalid parameters line=%d cmd=%d bus=%d rate=%d",
 			lineSize, cmdQueue, busQueue, lineCycles))
 	}
-	return &Controller{
+	c := &Controller{
 		eng:         eng,
 		core:        core,
 		gm:          gm,
@@ -90,9 +100,40 @@ func NewController(eng *sim.Engine, core int, gm GM, local *spm.SPM, notifier Ma
 		busCap:      busQueue,
 		lineCycles:  sim.Time(lineCycles),
 		outstanding: make(map[int]int),
-		waiters:     make(map[int][]func()),
+		waiters:     make(map[int][]sim.Cont),
 		issueStamp:  make(map[int]sim.Time),
 	}
+	c.issueCont = sim.AsCont(c.issueStep)
+	return c
+}
+
+// lineDone is a pooled completion node for one line-granule bus request.
+type lineDone struct {
+	c    *Controller
+	tag  int
+	next *lineDone // free-list link
+}
+
+func (d *lineDone) Fire() {
+	c := d.c
+	tag := d.tag
+	d.next = c.freeDones
+	c.freeDones = d
+	c.busInUse--
+	c.lineXfers++
+	c.finishLine(tag)
+}
+
+func (c *Controller) newLineDone(tag int) *lineDone {
+	d := c.freeDones
+	if d != nil {
+		c.freeDones = d.next
+		d.next = nil
+	} else {
+		d = &lineDone{c: c}
+	}
+	d.tag = tag
+	return d
 }
 
 // Get enqueues a dma-get transferring bytes from gmAddr to spmAddr under
@@ -129,11 +170,11 @@ func (c *Controller) enqueue(cmd command) bool {
 	return true
 }
 
-// Sync registers done to run once every transfer tagged tag has completed
+// Sync registers done to fire once every transfer tagged tag has completed
 // (dma-synch). If none are outstanding it fires on the next cycle.
-func (c *Controller) Sync(tag int, done func()) {
+func (c *Controller) Sync(tag int, done sim.Cont) {
 	if c.outstanding[tag] == 0 {
-		c.eng.Schedule(1, done)
+		c.eng.ScheduleCont(1, done)
 		return
 	}
 	c.waiters[tag] = append(c.waiters[tag], done)
@@ -174,13 +215,16 @@ func (c *Controller) process() {
 		c.notifier.NotifyMap(c.core, cmd.gmAddr, cmd.spmAddr, cmd.bytes)
 	}
 
-	nLines := c.lines(cmd.bytes)
-	c.issueLines(cmd, 0, nLines)
+	c.cur = cmd
+	c.curLine = 0
+	c.curN = c.lines(cmd.bytes)
+	c.issueStep()
 }
 
-// issueLines issues bus requests for cmd starting at line index i.
-func (c *Controller) issueLines(cmd command, i, n int) {
-	if i == n {
+// issueStep issues the current command's next bus request (or retries when
+// the bus queue is full). Every pace/retry event is the cached issueCont.
+func (c *Controller) issueStep() {
+	if c.curLine == c.curN {
 		// Command fully issued; move to the next one.
 		c.cmds = c.cmds[1:]
 		c.processing = false
@@ -189,18 +233,13 @@ func (c *Controller) issueLines(cmd command, i, n int) {
 	}
 	if c.busInUse >= c.busCap {
 		// Bus queue full: retry shortly.
-		c.eng.Schedule(c.lineCycles, func() { c.issueLines(cmd, i, n) })
+		c.eng.ScheduleCont(c.lineCycles, c.issueCont)
 		return
 	}
 	c.busInUse++
-	line := (cmd.gmAddr >> lineShift(c.lineSize)) + uint64(i)
-	tag := cmd.tag
-	complete := func() {
-		c.busInUse--
-		c.lineXfers++
-		c.finishLine(tag)
-	}
-	if cmd.put {
+	line := (c.cur.gmAddr >> lineShift(c.lineSize)) + uint64(c.curLine)
+	complete := c.newLineDone(c.cur.tag)
+	if c.cur.put {
 		c.local.DMAAccess(false) // read SPM array
 		c.gm.DMAWrite(c.core, line, complete)
 	} else {
@@ -208,7 +247,8 @@ func (c *Controller) issueLines(cmd command, i, n int) {
 		c.gm.DMARead(c.core, line, complete)
 	}
 	// Pace the next line request.
-	c.eng.Schedule(c.lineCycles, func() { c.issueLines(cmd, i+1, n) })
+	c.curLine++
+	c.eng.ScheduleCont(c.lineCycles, c.issueCont)
 }
 
 // finishLine retires one line transfer of tag, waking dma-synch waiters.
@@ -225,7 +265,7 @@ func (c *Controller) finishLine(tag int) {
 	ws := c.waiters[tag]
 	delete(c.waiters, tag)
 	for _, w := range ws {
-		c.eng.Schedule(0, w)
+		c.eng.ScheduleCont(0, w)
 	}
 }
 

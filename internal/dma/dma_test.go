@@ -15,14 +15,14 @@ type fakeGM struct {
 	writes []uint64
 }
 
-func (f *fakeGM) DMARead(core int, line uint64, done func()) {
+func (f *fakeGM) DMARead(core int, line uint64, done sim.Cont) {
 	f.reads = append(f.reads, line)
-	f.eng.Schedule(f.delay, done)
+	f.eng.ScheduleCont(f.delay, done)
 }
 
-func (f *fakeGM) DMAWrite(core int, line uint64, done func()) {
+func (f *fakeGM) DMAWrite(core int, line uint64, done sim.Cont) {
 	f.writes = append(f.writes, line)
-	f.eng.Schedule(f.delay, done)
+	f.eng.ScheduleCont(f.delay, done)
 }
 
 type mapRecord struct {
@@ -53,7 +53,7 @@ func TestGetTransfersAllLines(t *testing.T) {
 	if !c.Get(0x1000, 0xF000, 256, 1) { // 4 lines
 		t.Fatal("Get rejected")
 	}
-	c.Sync(1, func() { done = true })
+	c.Sync(1, sim.AsCont(func() { done = true }))
 	eng.Run()
 	if !done {
 		t.Fatal("sync never fired")
@@ -115,7 +115,7 @@ func TestPutDoesNotNotify(t *testing.T) {
 func TestSyncWithNothingOutstanding(t *testing.T) {
 	eng, _, _, _, c := newCtrl(t)
 	fired := false
-	c.Sync(9, func() { fired = true })
+	c.Sync(9, sim.AsCont(func() { fired = true }))
 	eng.Run()
 	if !fired {
 		t.Fatal("sync on idle tag never fired")
@@ -127,8 +127,8 @@ func TestSyncPerTag(t *testing.T) {
 	var order []int
 	c.Get(0x1000, 0xF000, 64, 1)   // 1 line
 	c.Get(0x8000, 0xF040, 1024, 2) // 16 lines (slower)
-	c.Sync(1, func() { order = append(order, 1) })
-	c.Sync(2, func() { order = append(order, 2) })
+	c.Sync(1, sim.AsCont(func() { order = append(order, 1) }))
+	c.Sync(2, sim.AsCont(func() { order = append(order, 2) }))
 	eng.Run()
 	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
 		t.Fatalf("sync order = %v, want [1 2]", order)
@@ -228,7 +228,7 @@ func TestNilNotifierOK(t *testing.T) {
 	c := NewController(eng, 0, gm, s, nil, 64, 4, 8, 1)
 	done := false
 	c.Get(0x1000, 0xF000, 64, 1)
-	c.Sync(1, func() { done = true })
+	c.Sync(1, sim.AsCont(func() { done = true }))
 	eng.Run()
 	if !done {
 		t.Fatal("transfer with nil notifier failed")

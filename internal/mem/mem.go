@@ -34,10 +34,11 @@ func NewController(eng *sim.Engine, latency, cyclesPerLine int) *Controller {
 	}
 }
 
-// Access performs one line-granule DRAM access and calls done when it
+// Access performs one line-granule DRAM access and fires done when it
 // completes. Writes complete on the same schedule as reads (the channel
-// occupancy is what matters for contention).
-func (c *Controller) Access(write bool, done func()) {
+// occupancy is what matters for contention). A nil done still schedules the
+// completion event so event counts stay caller-independent.
+func (c *Controller) Access(write bool, done sim.Cont) {
 	if write {
 		c.writes++
 	} else {
@@ -50,11 +51,10 @@ func (c *Controller) Access(write bool, done func()) {
 	c.queueDelay.Observe(uint64(c.nextFree - start))
 	finish := c.nextFree + c.latency
 	c.nextFree += c.cyclesPerLine
-	c.eng.At(finish, func() {
-		if done != nil {
-			done()
-		}
-	})
+	if done == nil {
+		done = sim.Nop
+	}
+	c.eng.AtCont(finish, done)
 }
 
 // Reads returns the number of read accesses served.

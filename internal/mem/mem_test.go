@@ -11,7 +11,7 @@ func TestSingleAccessLatency(t *testing.T) {
 	eng := sim.NewEngine()
 	c := NewController(eng, 100, 4)
 	var done sim.Time
-	c.Access(false, func() { done = eng.Now() })
+	c.Access(false, sim.AsCont(func() { done = eng.Now() }))
 	eng.Run()
 	if done != 100 {
 		t.Fatalf("access completed at %d, want 100", done)
@@ -26,7 +26,7 @@ func TestBandwidthSerialization(t *testing.T) {
 	c := NewController(eng, 100, 4)
 	var times []sim.Time
 	for i := 0; i < 3; i++ {
-		c.Access(false, func() { times = append(times, eng.Now()) })
+		c.Access(false, sim.AsCont(func() { times = append(times, eng.Now()) }))
 	}
 	eng.Run()
 	want := []sim.Time{100, 104, 108}
@@ -43,7 +43,7 @@ func TestChannelRecoversAfterIdle(t *testing.T) {
 	var second sim.Time
 	c.Access(false, nil)
 	eng.Schedule(50, func() {
-		c.Access(false, func() { second = eng.Now() })
+		c.Access(false, sim.AsCont(func() { second = eng.Now() }))
 	})
 	eng.Run()
 	if second != 60 {
@@ -140,7 +140,7 @@ func TestBandwidthConservationProperty(t *testing.T) {
 		c := NewController(eng, latency, perLine)
 		var last sim.Time
 		for i := 0; i < n; i++ {
-			c.Access(false, func() { last = eng.Now() })
+			c.Access(false, sim.AsCont(func() { last = eng.Now() }))
 		}
 		eng.Run()
 		return last == sim.Time(latency+(n-1)*perLine)

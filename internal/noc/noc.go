@@ -72,6 +72,11 @@ type Mesh struct {
 	flits    [NumCategories]uint64
 	flitHops [NumCategories]uint64
 	latency  stats.Dist
+
+	// freePkts is the free list of recycled packet nodes: steady-state
+	// traffic allocates no per-hop closures (DESIGN.md, hot-path memory
+	// discipline).
+	freePkts *packet
 }
 
 // New builds a W×H mesh on the engine. flitBytes is the link width;
@@ -132,60 +137,101 @@ func abs(v int) int {
 	return v
 }
 
+// packet is a pooled in-flight packet. One node carries the packet across
+// every hop: each scheduled event is the node itself (cur < dst route steps,
+// then delivery when cur == dst), so a K-hop packet costs zero allocations in
+// steady state — the node comes off the mesh free list and returns to it the
+// moment it delivers.
+type packet struct {
+	m        *Mesh
+	cur, dst int
+	flits    int
+	start    sim.Time
+	deliver  sim.Cont
+	next     *packet // free-list link
+}
+
+func (m *Mesh) allocPkt() *packet {
+	if p := m.freePkts; p != nil {
+		m.freePkts = p.next
+		p.next = nil
+		return p
+	}
+	return &packet{m: m}
+}
+
+// Fire advances the packet: route one more hop, or deliver if it has arrived.
+func (p *packet) Fire() {
+	if p.cur != p.dst {
+		p.step()
+		return
+	}
+	m := p.m
+	m.latency.Observe(uint64(m.eng.Now() - p.start))
+	d := p.deliver
+	p.deliver = nil
+	p.next = m.freePkts
+	m.freePkts = p
+	// The node is recycled before the continuation runs so that a deliver
+	// handler injecting a new packet reuses it immediately.
+	d.Fire()
+}
+
+// step reserves the next link along the XY route and schedules the node for
+// its arrival at the downstream router.
+func (p *packet) step() {
+	m := p.m
+	next, dir := m.xyNext(p.cur, p.dst)
+
+	// Reserve the outgoing link: the packet's tail occupies it for one
+	// cycle per flit. Queueing delay is the gap until the link frees.
+	ready := m.eng.Now()
+	if m.linkFree[p.cur][dir] > ready {
+		ready = m.linkFree[p.cur][dir]
+	}
+	m.linkFree[p.cur][dir] = ready + m.occupancy(p.flits)
+
+	depart := ready - m.eng.Now()
+	arrive := depart + m.routerLat + m.linkLat
+	if next == p.dst {
+		// Tail serialization only charged once, at the final hop;
+		// intermediate hops pipeline flits.
+		arrive += m.occupancy(p.flits) - 1
+	}
+	p.cur = next
+	m.eng.ScheduleCont(arrive, p)
+}
+
 // Send injects a packet of size bytes from src to dst and invokes deliver at
 // the destination once the head flit arrives and the tail flit has been
 // serialized. Contention is modelled by per-link bandwidth reservation: a
 // packet of F flits occupies each traversed link for F cycles.
 func (m *Mesh) Send(src, dst, bytes int, cat Category, deliver func()) {
+	m.SendCont(src, dst, bytes, cat, sim.AsCont(deliver))
+}
+
+// SendCont is Send for pooled continuations: the entire transit — queueing,
+// hops, tail serialization, delivery — runs on one recycled packet node.
+func (m *Mesh) SendCont(src, dst, bytes int, cat Category, deliver sim.Cont) {
 	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
 		panic(fmt.Sprintf("noc: send %d->%d outside %d-node mesh", src, dst, m.Nodes()))
+	}
+	if deliver == nil {
+		deliver = sim.Nop
 	}
 	flits := m.Flits(bytes)
 	m.pkts[cat]++
 	m.flits[cat] += uint64(flits)
 	m.flitHops[cat] += uint64(flits * m.Hops(src, dst))
 
-	start := m.eng.Now()
+	p := m.allocPkt()
+	p.cur, p.dst, p.flits, p.start, p.deliver = src, dst, flits, m.eng.Now(), deliver
 	if src == dst {
 		// Local delivery still pays the router traversal.
-		m.eng.Schedule(m.routerLat, func() {
-			m.latency.Observe(uint64(m.eng.Now() - start))
-			if deliver != nil {
-				deliver()
-			}
-		})
+		m.eng.ScheduleCont(m.routerLat, p)
 		return
 	}
-	m.hop(src, dst, flits, start, deliver)
-}
-
-// hop advances the packet one link along the XY route, reserving bandwidth.
-func (m *Mesh) hop(cur, dst, flits int, start sim.Time, deliver func()) {
-	next, dir := m.xyNext(cur, dst)
-
-	// Reserve the outgoing link: the packet's tail occupies it for one
-	// cycle per flit. Queueing delay is the gap until the link frees.
-	ready := m.eng.Now()
-	if m.linkFree[cur][dir] > ready {
-		ready = m.linkFree[cur][dir]
-	}
-	m.linkFree[cur][dir] = ready + m.occupancy(flits)
-
-	depart := ready - m.eng.Now()
-	arrive := depart + m.routerLat + m.linkLat
-	if next == dst {
-		// Tail serialization only charged once, at the final hop;
-		// intermediate hops pipeline flits.
-		arrive += m.occupancy(flits) - 1
-		m.eng.Schedule(arrive, func() {
-			m.latency.Observe(uint64(m.eng.Now() - start))
-			if deliver != nil {
-				deliver()
-			}
-		})
-		return
-	}
-	m.eng.Schedule(arrive, func() { m.hop(next, dst, flits, start, deliver) })
+	p.step()
 }
 
 // xyNext returns the neighbour on the XY route toward dst and the link

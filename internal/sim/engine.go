@@ -22,6 +22,39 @@ import "fmt"
 // Time is the simulated clock, measured in core cycles.
 type Time uint64
 
+// Cont is a schedulable continuation. Hot-path hardware models implement it
+// on pooled (free-listed) nodes so that steady-state scheduling allocates
+// nothing: boxing a pointer into the interface is allocation-free, and the
+// node is recycled after Fire returns. Plain closures still schedule through
+// Schedule/At, which adapt them via a func-typed Cont (also allocation-free,
+// since func values are pointer-shaped).
+type Cont interface{ Fire() }
+
+// funcCont adapts an ordinary closure to Cont without allocating.
+type funcCont func()
+
+func (f funcCont) Fire() { f() }
+
+// AsCont wraps fn as a Cont, mapping nil to Nop. The conversion never
+// allocates; the closure itself was allocated by the caller (or is
+// capture-free and static).
+func AsCont(fn func()) Cont {
+	if fn == nil {
+		return Nop
+	}
+	return funcCont(fn)
+}
+
+// nopCont is scheduled in place of nil continuations so that event counts —
+// part of the determinism contract pinned by the golden stats test — do not
+// depend on whether a caller wanted a completion callback.
+type nopCont struct{}
+
+func (nopCont) Fire() {}
+
+// Nop is the shared no-op continuation.
+var Nop Cont = nopCont{}
+
 const (
 	// horizonBits sizes the near-horizon ring: events within
 	// 2^horizonBits cycles of now take the bucket fast path. Hardware
@@ -32,11 +65,11 @@ const (
 	ringMask    = horizon - 1
 )
 
-// event is a scheduled closure.
+// event is a scheduled continuation.
 type event struct {
 	when Time
 	seq  uint64
-	fn   func()
+	c    Cont
 }
 
 func eventLess(a, b event) bool {
@@ -128,20 +161,37 @@ func (e *Engine) Pending() int { return e.ringCount + len(e.overflow) }
 // later in the current cycle, after all previously scheduled work for this
 // cycle.
 func (e *Engine) Schedule(delay Time, fn func()) {
-	e.At(e.now+delay, fn)
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	e.AtCont(e.now+delay, funcCont(fn))
+}
+
+// ScheduleCont is Schedule for pooled continuations: no adapter, no
+// allocation.
+func (e *Engine) ScheduleCont(delay Time, c Cont) {
+	e.AtCont(e.now+delay, c)
 }
 
 // At enqueues fn at absolute cycle t. Scheduling in the past is a programming
 // error and panics: silently reordering time would corrupt every model built
 // on the kernel.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
-	}
 	if fn == nil {
 		panic("sim: scheduling nil event")
 	}
-	ev := event{when: t, seq: e.seq, fn: fn}
+	e.AtCont(t, funcCont(fn))
+}
+
+// AtCont enqueues a continuation at absolute cycle t.
+func (e *Engine) AtCont(t Time, c Cont) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	if c == nil {
+		panic("sim: scheduling nil event")
+	}
+	ev := event{when: t, seq: e.seq, c: c}
 	e.seq++
 	if t < e.now+horizon {
 		e.pushRing(ev)
@@ -200,7 +250,7 @@ func (e *Engine) Step() bool {
 	e.ringCount--
 	e.now = s
 	e.fired++
-	ev.fn()
+	ev.c.Fire()
 	return true
 }
 

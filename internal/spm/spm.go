@@ -89,33 +89,33 @@ func New(eng *sim.Engine, latency int) *SPM {
 	return &SPM{eng: eng, latency: sim.Time(latency)}
 }
 
-// Access performs a CPU-side access and runs done after the SPM latency.
-func (s *SPM) Access(write bool, done func()) {
+// Access performs a CPU-side access and fires done after the SPM latency.
+// A nil done still schedules a completion event (as sim.Nop) so event counts
+// do not depend on whether the caller wanted a callback.
+func (s *SPM) Access(write bool, done sim.Cont) {
 	if write {
 		s.writes++
 	} else {
 		s.reads++
 	}
-	s.eng.Schedule(s.latency, func() {
-		if done != nil {
-			done()
-		}
-	})
+	if done == nil {
+		done = sim.Nop
+	}
+	s.eng.ScheduleCont(s.latency, done)
 }
 
 // RemoteAccess performs an access on behalf of another core (the protocol's
 // Fig. 5d case). NoC transit is charged by the caller.
-func (s *SPM) RemoteAccess(write bool, done func()) {
+func (s *SPM) RemoteAccess(write bool, done sim.Cont) {
 	if write {
 		s.remoteWr++
 	} else {
 		s.remoteReads++
 	}
-	s.eng.Schedule(s.latency, func() {
-		if done != nil {
-			done()
-		}
-	})
+	if done == nil {
+		done = sim.Nop
+	}
+	s.eng.ScheduleCont(s.latency, done)
 }
 
 // DMAAccess accounts one line-granule DMA transfer touching the SPM array

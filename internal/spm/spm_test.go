@@ -87,7 +87,7 @@ func TestSPMAccessLatency(t *testing.T) {
 	eng := sim.NewEngine()
 	s := New(eng, 2)
 	var at sim.Time
-	s.Access(false, func() { at = eng.Now() })
+	s.Access(false, sim.AsCont(func() { at = eng.Now() }))
 	eng.Run()
 	if at != 2 {
 		t.Fatalf("access completed at %d, want 2", at)

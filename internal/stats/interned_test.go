@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCountersMatchesSet(t *testing.T) {
+	r := NewReg()
+	a := r.Handle("l1d.accesses")
+	b := r.Handle("l2.misses")
+	c := r.Handle("never.touched")
+	if got := r.Handle("l1d.accesses"); got != a {
+		t.Fatalf("re-registering returned %d, want %d", got, a)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+
+	cs := r.NewCounters("core0")
+	set := NewSet("core0")
+	for i := 0; i < 5; i++ {
+		cs.Inc(a)
+		set.Inc("l1d.accesses")
+	}
+	cs.Add(b, 7)
+	set.Add("l2.misses", 7)
+	_ = c
+
+	if cs.Val(a) != 5 || cs.Get("l1d.accesses") != 5 {
+		t.Fatalf("Val/Get mismatch: %d %d", cs.Val(a), cs.Get("l1d.accesses"))
+	}
+	if cs.Get("never.touched") != 0 || cs.Get("unregistered") != 0 {
+		t.Fatal("untouched/unregistered counters must read 0")
+	}
+	if cs.Total() != set.Total() {
+		t.Fatalf("Total = %d, want %d", cs.Total(), set.Total())
+	}
+	if !reflect.DeepEqual(cs.Keys(), set.Keys()) {
+		t.Fatalf("Keys = %v, want %v", cs.Keys(), set.Keys())
+	}
+	if !reflect.DeepEqual(cs.Snapshot(), set.Snapshot()) {
+		t.Fatalf("Snapshot = %v, want %v", cs.Snapshot(), set.Snapshot())
+	}
+	if cs.String() != set.String() {
+		t.Fatalf("String mismatch:\n%q\nwant\n%q", cs.String(), set.String())
+	}
+
+	cs.Reset()
+	if cs.Total() != 0 || len(cs.Keys()) != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+	if cs.Name() != "core0" {
+		t.Fatalf("Name = %q", cs.Name())
+	}
+}
+
+func BenchmarkCountersInc(b *testing.B) {
+	r := NewReg()
+	h := r.Handle("l1d.accesses")
+	cs := r.NewCounters("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cs.Inc(h)
+	}
+	if cs.Val(h) == 0 {
+		b.Fatal("no increments")
+	}
+}

@@ -42,6 +42,8 @@ type Machine struct {
 
 	Cluster *cpu.Cluster
 
+	freeSpmToks *spmTok
+
 	bench *compiler.Benchmark
 }
 
@@ -128,10 +130,10 @@ func Build(cfg config.Config, bench *compiler.Benchmark, seed uint64) (*Machine,
 // cpu.Ops implementation: route each instruction to the right hardware.
 
 // IFetch implements cpu.Ops.
-func (m *Machine) IFetch(c int, pc uint64, done func()) { m.Hier.IFetch(c, pc, done) }
+func (m *Machine) IFetch(c int, pc uint64, done sim.Cont) { m.Hier.IFetch(c, pc, done) }
 
 // Mem implements cpu.Ops.
-func (m *Machine) Mem(c int, inst isa.Inst, done func()) {
+func (m *Machine) Mem(c int, inst isa.Inst, done sim.Cont) {
 	switch inst.Kind {
 	case isa.Load:
 		m.Hier.Read(c, inst.Addr, inst.PC, done)
@@ -147,8 +149,7 @@ func (m *Machine) Mem(c int, inst isa.Inst, done func()) {
 			}
 			return
 		}
-		m.Protocol.GuardedAccess(c, inst.Addr, inst.PC, inst.Kind == isa.GuardedStore,
-			func(core.Served) { done() })
+		m.Protocol.GuardedAccessCont(c, inst.Addr, inst.PC, inst.Kind == isa.GuardedStore, done)
 	case isa.SPMLoad, isa.SPMStore:
 		m.spmAccess(c, inst, done)
 	default:
@@ -156,10 +157,37 @@ func (m *Machine) Mem(c int, inst isa.Inst, done func()) {
 	}
 }
 
+// spmTok is a pooled continuation node for one remote-SPM round trip: step 0
+// fires at the owner's node, step 1 after the SPM array access.
+type spmTok struct {
+	m         *Machine
+	step      uint8
+	core      int
+	owner     int
+	write     bool
+	respBytes int
+	done      sim.Cont
+	next      *spmTok
+}
+
+func (t *spmTok) Fire() {
+	m := t.m
+	if t.step == 0 {
+		t.step = 1
+		m.SPMs[t.owner].RemoteAccess(t.write, t)
+		return
+	}
+	core, owner, respBytes, done := t.core, t.owner, t.respBytes, t.done
+	t.done = nil
+	t.next = m.freeSpmToks
+	m.freeSpmToks = t
+	m.Mesh.SendCont(owner, core, respBytes, noc.Read, done)
+}
+
 // spmAccess performs a direct load/store to the SPM virtual range. The range
 // check picks local vs remote; remote accesses ride the NoC (every core can
 // address any SPM, paper §2.1).
-func (m *Machine) spmAccess(c int, inst isa.Inst, done func()) {
+func (m *Machine) spmAccess(c int, inst isa.Inst, done sim.Cont) {
 	if m.SPMs == nil {
 		panic("system: SPM access on a cache-based machine")
 	}
@@ -174,11 +202,16 @@ func (m *Machine) spmAccess(c int, inst isa.Inst, done func()) {
 	if write {
 		reqBytes, respBytes = 72, 8
 	}
-	m.Mesh.Send(c, owner, reqBytes, noc.Read, func() {
-		m.SPMs[owner].RemoteAccess(write, func() {
-			m.Mesh.Send(owner, c, respBytes, noc.Read, done)
-		})
-	})
+	t := m.freeSpmToks
+	if t != nil {
+		m.freeSpmToks = t.next
+		t.next = nil
+	} else {
+		t = &spmTok{m: m}
+	}
+	t.step = 0
+	t.core, t.owner, t.write, t.respBytes, t.done = c, owner, write, respBytes, done
+	m.Mesh.SendCont(c, owner, reqBytes, noc.Read, t)
 }
 
 // DMAEnqueue implements cpu.Ops.
@@ -193,7 +226,7 @@ func (m *Machine) DMAEnqueue(c int, inst isa.Inst) bool {
 }
 
 // DMASync implements cpu.Ops.
-func (m *Machine) DMASync(c, tag int, done func()) {
+func (m *Machine) DMASync(c, tag int, done sim.Cont) {
 	if m.DMACs == nil {
 		panic("system: DMA sync on a cache-based machine")
 	}

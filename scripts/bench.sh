@@ -10,6 +10,10 @@
 # (BenchmarkSyntheticStream/<sys> and BenchmarkSyntheticPtrchase/<sys>), so
 # the trajectory also covers non-NAS patterns.
 #
+# After writing the artifact the script prints a delta report against the
+# most recent prior BENCH_*.json (ns/op and allocs/op ratios per benchmark),
+# so a perf regression is visible in the run that introduces it.
+#
 # Usage:
 #   scripts/bench.sh                 # quick pass (1 iteration per benchmark)
 #   BENCHTIME=3x scripts/bench.sh    # heavier pass
@@ -20,6 +24,11 @@ cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
 out="${OUT:-BENCH_$(date -u +%F).json}"
+
+# Newest prior artifact (if any) for the delta report, captured before the
+# new one lands so re-runs on the same day still diff against history.
+prev="$(ls -1 BENCH_*.json 2>/dev/null | grep -vF "$(basename "$out")" | sort | tail -n1 || true)"
+
 raw="$(go test -bench . -benchmem -run '^$' -benchtime "$benchtime" .)"
 
 printf '%s\n' "$raw" | awk \
@@ -44,3 +53,32 @@ END {
 }' > "$out"
 
 echo "wrote $out" >&2
+
+if [ -n "$prev" ]; then
+  python3 - "$prev" "$out" <<'PY' >&2
+import json, sys
+
+prevPath, curPath = sys.argv[1], sys.argv[2]
+load = lambda p: {b["name"]: b for b in json.load(open(p))["benchmarks"]}
+prev, cur = load(prevPath), load(curPath)
+
+print(f"\ndelta vs {prevPath}:")
+print(f"  {'benchmark':<34} {'ns/op':>12} {'x':>7}   {'allocs/op':>11} {'x':>7}")
+for name, c in cur.items():
+    p = prev.get(name)
+    if p is None:
+        print(f"  {name:<34} (new)")
+        continue
+    def ratio(key):
+        a, b = p.get(key), c.get(key)
+        if not a or b is None:
+            return b, "-"
+        return b, f"{b / a:.2f}"
+    ns, nsx = ratio("ns/op")
+    al, alx = ratio("allocs/op")
+    print(f"  {name:<34} {ns:>12} {nsx:>7}   {al:>11} {alx:>7}")
+for name in prev:
+    if name not in cur:
+        print(f"  {name:<34} (removed)")
+PY
+fi

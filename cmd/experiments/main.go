@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/compiler"
 	"repro/internal/config"
 	"repro/internal/noc"
@@ -108,7 +109,13 @@ func main() {
 	flag.Var(&sets, "set", "override one machine knob on every run, name=value (repeatable; cores=N wins over -cores)")
 	flag.Var(&sweeps, "sweep", "run ONLY a custom knob sweep over the workloads on the hybrid system, name=v1,v2,... (repeatable; prints a per-column CSV and honors -out csv/json)")
 	flag.Var(&wsweeps, "wsweep", "run ONLY a custom workload-parameter sweep, name=v1,v2,... (repeatable; combine with -workload)")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("experiments", buildinfo.Version())
+		return
+	}
 
 	if *listWorkloads {
 		report.WorkloadCatalog(os.Stdout)

@@ -27,13 +27,16 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/noc"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -56,7 +59,17 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations for -sweep/-wsweep (0 = one per host CPU)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+	interval := flag.Uint64("interval", 0, "sample counters every N cycles into a time series (0 = off; single run only)")
+	timelinePath := flag.String("timeline", "", "write the -interval time series here (.json = JSON, else CSV; default stdout CSV)")
+	tracePath := flag.String("trace", "", "record an event trace here (.jsonl = JSON lines, else Chrome trace_event JSON for Perfetto)")
+	traceEvents := flag.Int("trace-events", 1<<16, "event-trace ring-buffer capacity (oldest events drop first)")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("hybridsim", buildinfo.Version())
+		return
+	}
 
 	if *listWorkloads {
 		report.WorkloadCatalog(os.Stdout)
@@ -127,6 +140,10 @@ func main() {
 	defer stopProfiles()
 
 	if len(sweeps) > 0 || len(wsweeps) > 0 {
+		if *interval > 0 || *tracePath != "" {
+			fmt.Fprintln(os.Stderr, "-interval/-trace apply to a single run, not a sweep")
+			os.Exit(2)
+		}
 		runSweep(ctx, sys, workloads.FormatWorkload(bench, params), scale,
 			*cores, *maxEvents, overrides, sweeps, wsweeps, *workers)
 		return
@@ -141,15 +158,38 @@ func main() {
 		Cores:     *cores,
 		MaxEvents: *maxEvents,
 	}
-	r, err := spec.ExecuteContext(ctx)
+
+	// Telemetry: sampling (-interval) and tracing (-trace) ride one Recorder
+	// attached to the machine; a run without either executes the exact same
+	// code path as before (nil recorder).
+	var rec *telemetry.Recorder
+	if *interval > 0 || *tracePath != "" {
+		events := 0
+		if *tracePath != "" {
+			events = *traceEvents
+		}
+		rec = telemetry.NewRecorder(*interval, events)
+	}
+	r, err := spec.ExecuteRecorded(ctx, rec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
 		stopProfiles()
 		os.Exit(1)
 	}
+	export := func() {
+		if rec == nil {
+			return
+		}
+		if err := exportTelemetry(rec, *timelinePath, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			stopProfiles()
+			os.Exit(1)
+		}
+	}
 
 	if *csv {
 		report.CSV(os.Stdout, []system.Results{r})
+		export()
 		return
 	}
 
@@ -190,6 +230,57 @@ func main() {
 	if sys != config.CacheBased {
 		fmt.Printf("  DMA line xfers   %d\n", r.DMALineTransfers)
 	}
+	export()
+}
+
+// exportTelemetry writes the recorder's products: the sampled time series to
+// timelinePath (.json = indented JSON, otherwise CSV; "" = CSV on stdout,
+// after the run report) and the event trace to tracePath (.jsonl = JSON
+// lines, otherwise Chrome trace_event JSON that Perfetto and chrome://tracing
+// open directly).
+func exportTelemetry(rec *telemetry.Recorder, timelinePath, tracePath string) error {
+	if rec.Interval() > 0 {
+		out := os.Stdout
+		if timelinePath != "" {
+			f, err := os.Create(timelinePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		ts := rec.Series()
+		var err error
+		if strings.HasSuffix(timelinePath, ".json") {
+			err = report.TimelineJSON(out, ts)
+		} else {
+			err = report.TimelineCSV(out, ts)
+		}
+		if err != nil {
+			return fmt.Errorf("timeline: %w", err)
+		}
+	}
+	if tr := rec.Tracer(); tr != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events := tr.Events()
+		if strings.HasSuffix(tracePath, ".jsonl") {
+			err = telemetry.WriteJSONL(f, events)
+		} else {
+			err = telemetry.WriteChromeTrace(f, events, map[string]string{
+				"dropped": fmt.Sprint(tr.Dropped()),
+			})
+		}
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events to %s (%d dropped from the ring)\n",
+			len(events), tracePath, tr.Dropped())
+	}
+	return nil
 }
 
 // startProfiles begins CPU profiling and/or arranges a post-run heap

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
@@ -31,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/config"
 	"repro/internal/report"
 	"repro/internal/rescache"
@@ -70,7 +72,12 @@ func main() {
 	var sets runner.MultiFlag
 	flag.Var(&sets, "set", "client mode: override one machine knob, name=value (repeatable; cores=N wins over -cores)")
 	listWorkloads := flag.Bool("workloads", false, "list the workload catalog (names, params, defaults) and exit")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("hybridsimd", buildinfo.Version())
+		return
+	}
 	if *listWorkloads {
 		report.WorkloadCatalog(os.Stdout)
 		return
@@ -127,7 +134,8 @@ func serve(addr string, workers, queue, cacheEntries int, cacheDir string, pprof
 	if err != nil {
 		fatalf("%v", err)
 	}
-	srv := service.New(service.Options{Workers: workers, QueueDepth: queue, Cache: cache})
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := service.New(service.Options{Workers: workers, QueueDepth: queue, Cache: cache, Log: log})
 	defer srv.Close()
 
 	handler := srv.Handler()

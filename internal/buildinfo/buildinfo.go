@@ -1,0 +1,53 @@
+// Package buildinfo derives a human-readable version string from the binary's
+// embedded build metadata, so every binary answers -version (and the daemon's
+// /v1/healthz) consistently without a linker-flag release process.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns the best version string the build metadata offers: the
+// module version when built as a versioned dependency, otherwise the VCS
+// revision (short) with a +dirty suffix and commit time when built from a
+// checkout, otherwise "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, tim string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			tim = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	var b strings.Builder
+	b.WriteString("devel+")
+	b.WriteString(rev)
+	if dirty {
+		b.WriteString("+dirty")
+	}
+	if tim != "" {
+		b.WriteString(" (")
+		b.WriteString(tim)
+		b.WriteString(")")
+	}
+	return b.String()
+}

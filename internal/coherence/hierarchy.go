@@ -32,6 +32,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // L1 line states (cache.Invalid == 0 means not present).
@@ -93,6 +94,10 @@ type Hierarchy struct {
 
 	set *stats.Counters
 
+	// tr, when set, wraps demand and DMA accesses in trace spans. Nil on
+	// untraced runs: one pointer check per access, nothing else.
+	tr *telemetry.Trace
+
 	freeTxns *txn
 
 	// wake schedules an MSHR waiter for the current cycle; cached once so
@@ -147,6 +152,9 @@ func New(eng *sim.Engine, cfg config.Config, mesh *noc.Mesh, dram *mem.System) *
 	}
 	return h
 }
+
+// SetTrace enables event tracing on the hierarchy.
+func (h *Hierarchy) SetTrace(tr *telemetry.Trace) { h.tr = tr }
 
 // LineAddr converts a byte address to a line address.
 func (h *Hierarchy) LineAddr(addr uint64) uint64 { return addr >> h.lineShift }
@@ -481,6 +489,13 @@ func (h *Hierarchy) Write(core int, addr, pc uint64, done sim.Cont) {
 func (h *Hierarchy) access(core int, addr, pc uint64, write bool, done sim.Cont) {
 	if done == nil {
 		done = sim.Nop
+	}
+	if h.tr != nil {
+		var w uint64
+		if write {
+			w = 1
+		}
+		done = h.tr.Span(telemetry.KCohAccess, core, addr, w, done)
 	}
 	h.set.Inc(hL1DAcc)
 	walk := h.tlbLookup(core, addr)
@@ -1121,6 +1136,9 @@ func (h *Hierarchy) DMARead(core int, line uint64, done sim.Cont) {
 	if done == nil {
 		done = sim.Nop
 	}
+	if h.tr != nil {
+		done = h.tr.Span(telemetry.KCohDMARead, core, line, 0, done)
+	}
 	home := h.homeOf(line)
 	t := h.allocTxn()
 	t.kind = kDMARead
@@ -1202,6 +1220,9 @@ func (h *Hierarchy) dmaReadStep(t *txn) {
 func (h *Hierarchy) DMAWrite(core int, line uint64, done sim.Cont) {
 	if done == nil {
 		done = sim.Nop
+	}
+	if h.tr != nil {
+		done = h.tr.Span(telemetry.KCohDMAWrite, core, line, 0, done)
 	}
 	home := h.homeOf(line)
 	t := h.allocTxn()

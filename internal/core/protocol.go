@@ -43,6 +43,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spm"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Served identifies which storage satisfied a guarded access.
@@ -140,9 +141,16 @@ type Protocol struct {
 
 	set *stats.Counters
 
+	// tr, when set, wraps guarded accesses in trace spans. Nil on untraced
+	// runs: one pointer check per access.
+	tr *telemetry.Trace
+
 	freeG *gtxn
 	freeP *pnode
 }
+
+// SetTrace enables event tracing on the protocol.
+func (p *Protocol) SetTrace(tr *telemetry.Trace) { p.tr = tr }
 
 // spmDir is one core's SPMDir: entry index == buffer number (§3.1).
 type spmDir struct {
@@ -936,6 +944,13 @@ func (p *Protocol) GuardedAccess(core int, addr, pc uint64, isStore bool, done f
 func (p *Protocol) GuardedAccessCont(core int, addr, pc uint64, isStore bool, done sim.Cont) {
 	if done == nil {
 		done = sim.Nop
+	}
+	if p.tr != nil {
+		var st uint64
+		if isStore {
+			st = 1
+		}
+		done = p.tr.Span(telemetry.KGuarded, core, addr, st, done)
 	}
 	t := p.allocGtxn()
 	t.core = core

@@ -4,6 +4,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Cluster drives all cores of the machine through one shared barrier.
@@ -29,6 +30,13 @@ func NewCluster(eng *sim.Engine, cfg config.Config, ops Ops, programs []isa.Prog
 		cl.cores = append(cl.cores, NewCore(eng, i, p, ops, prog, cl.barrier, func() { cl.done++ }))
 	}
 	return cl
+}
+
+// SetTrace enables event tracing on every core.
+func (cl *Cluster) SetTrace(tr *telemetry.Trace) {
+	for _, c := range cl.cores {
+		c.SetTrace(tr)
+	}
 }
 
 // Start launches every core.

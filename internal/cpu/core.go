@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Ops is everything a core asks of the rest of the machine. The system
@@ -115,7 +116,14 @@ type Core struct {
 	syncDone    sim.Cont // DMASync completion
 	barrierDone sim.Cont // barrier release
 	freeToks    *memTok
+
+	// tr, when set, records stall spans and ordering flushes. Nil on
+	// untraced runs: one pointer check per unblock/flush.
+	tr *telemetry.Trace
 }
+
+// SetTrace enables event tracing on the core.
+func (c *Core) SetTrace(tr *telemetry.Trace) { c.tr = tr }
 
 // memTok is a pooled load/store completion token: the callback state (core,
 // address, direction) lives on a recycled node, so issuing a memory access
@@ -289,6 +297,9 @@ func (c *Core) unblockIf(reason blockReason) {
 	if c.blocked != reason {
 		return
 	}
+	if c.tr != nil {
+		c.tr.Add(telemetry.KStall, c.id, c.eng.Now()-c.blockStart, uint64(reason), 0)
+	}
 	c.blocked = notBlocked
 	c.account()
 	c.step()
@@ -453,6 +464,9 @@ func (c *Core) Recheck(spmAddr uint64, isStore bool) bool {
 		e := &c.lsq[i]
 		if e.live && e.addr&wordMask == spmAddr&wordMask && (e.store || isStore) {
 			c.flushes++
+			if c.tr != nil {
+				c.tr.Add(telemetry.KFlush, c.id, 0, spmAddr, 0)
+			}
 			c.budget += sim.Time(c.p.PipelineDepth)
 			return true
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spm"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // GM abstracts the coherent global-memory system the DMAC transfers against
@@ -79,7 +80,14 @@ type Controller struct {
 
 	issueStamp map[int]sim.Time // tag -> first enqueue time (diagnostics)
 	TagLatency stats.Dist       // enqueue-to-last-completion per tag
+
+	// tr, when set, records command acceptances and per-tag retirement
+	// spans. Nil on untraced runs: one pointer check per site.
+	tr *telemetry.Trace
 }
+
+// SetTrace enables event tracing on the controller.
+func (c *Controller) SetTrace(tr *telemetry.Trace) { c.tr = tr }
 
 // NewController builds core's DMAC. notifier may be nil (cache-based or
 // ideal-coherence systems).
@@ -163,6 +171,13 @@ func (c *Controller) enqueue(cmd command) bool {
 	}
 	if _, ok := c.issueStamp[cmd.tag]; !ok {
 		c.issueStamp[cmd.tag] = c.eng.Now()
+	}
+	if c.tr != nil {
+		var put uint64
+		if cmd.put {
+			put = 1
+		}
+		c.tr.Add(telemetry.KDMACmd, c.core, 0, cmd.gmAddr, uint64(cmd.bytes)<<1|put)
 	}
 	c.outstanding[cmd.tag] += c.lines(cmd.bytes)
 	c.cmds = append(c.cmds, cmd)
@@ -260,6 +275,9 @@ func (c *Controller) finishLine(tag int) {
 	delete(c.outstanding, tag)
 	if t0, ok := c.issueStamp[tag]; ok {
 		c.TagLatency.Observe(uint64(c.eng.Now() - t0))
+		if c.tr != nil {
+			c.tr.Add(telemetry.KDMATag, c.core, c.eng.Now()-t0, uint64(tag), 0)
+		}
 		delete(c.issueStamp, tag)
 	}
 	ws := c.waiters[tag]

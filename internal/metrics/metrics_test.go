@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	g := r.Gauge("test_gauge", "a gauge")
+	r.CounterFunc("test_fn_total", "a func counter", func() uint64 { return 7 })
+	r.GaugeFunc("test_fn_gauge", "a func gauge", func() int64 { return -3 })
+	c.Add(41)
+	c.Inc()
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP test_total a counter",
+		"# TYPE test_total counter",
+		"test_total 42",
+		"# TYPE test_gauge gauge",
+		"test_gauge 5",
+		"test_fn_total 7",
+		"test_fn_gauge -3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("http_requests_total", "requests", "path", "code")
+	cv.With("/v1/runs", "200").Add(3)
+	cv.With("/v1/runs", "400").Inc()
+	cv.With("/v1/runs", "200").Inc()
+
+	out := r.Render()
+	if !strings.Contains(out, `http_requests_total{path="/v1/runs",code="200"} 4`) {
+		t.Errorf("missing labelled sample:\n%s", out)
+	}
+	if !strings.Contains(out, `http_requests_total{path="/v1/runs",code="400"} 1`) {
+		t.Errorf("missing labelled sample:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.1) // le="0.1" is inclusive
+	h.Observe(5)
+	h.Observe(100) // +Inf only
+
+	out := r.Render()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="10"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		`lat_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "lat_seconds_sum 105.15") {
+		t.Errorf("bad sum:\n%s", out)
+	}
+}
+
+func TestHistogramVecRender(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("run_seconds", "run latency", []float64{1}, "outcome")
+	hv.With("cached").Observe(0.5)
+	hv.With("computed").Observe(2)
+
+	out := r.Render()
+	for _, want := range []string{
+		`run_seconds_bucket{outcome="cached",le="1"} 1`,
+		`run_seconds_bucket{outcome="computed",le="+Inf"} 1`,
+		`run_seconds_count{outcome="cached"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	cv := r.CounterVec("cv_total", "cv", "k")
+	h := r.Histogram("h_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				cv.With("a").Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if cv.With("a").Value() != 8000 {
+		t.Errorf("vec counter = %d, want 8000", cv.With("a").Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "y")
+}

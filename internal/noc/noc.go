@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Category classifies NoC traffic for accounting (paper Fig. 10).
@@ -77,7 +78,14 @@ type Mesh struct {
 	// traffic allocates no per-hop closures (DESIGN.md, hot-path memory
 	// discipline).
 	freePkts *packet
+
+	// tr, when set, records every injection as a telemetry event. Nil on
+	// untraced runs: one pointer check per send, nothing else.
+	tr *telemetry.Trace
 }
+
+// SetTrace enables event tracing on the mesh.
+func (m *Mesh) SetTrace(tr *telemetry.Trace) { m.tr = tr }
 
 // New builds a W×H mesh on the engine. flitBytes is the link width;
 // linkLat/routerLat are per-hop latencies in cycles. Links accept one flit
@@ -223,6 +231,9 @@ func (m *Mesh) SendCont(src, dst, bytes int, cat Category, deliver sim.Cont) {
 	m.pkts[cat]++
 	m.flits[cat] += uint64(flits)
 	m.flitHops[cat] += uint64(flits * m.Hops(src, dst))
+	if m.tr != nil {
+		m.tr.Add(telemetry.KNoCSend, src, 0, uint64(dst), uint64(bytes)<<4|uint64(cat))
+	}
 
 	p := m.allocPkt()
 	p.cur, p.dst, p.flits, p.start, p.deliver = src, dst, flits, m.eng.Now(), deliver

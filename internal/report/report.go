@@ -3,9 +3,11 @@
 package report
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/compiler"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/noc"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -367,6 +370,56 @@ func JSONLines(w io.Writer, results []system.Results) error {
 		}
 	}
 	return nil
+}
+
+// TimelineCSV renders a sampled run's counter time series as CSV: one row
+// per epoch, a cycle column plus one column per series that moved at least
+// once over the run (all-zero series are elided to keep wide machines
+// readable; the full schema is in the JSON sink).
+func TimelineCSV(w io.Writer, ts telemetry.TimeSeries) error {
+	moved := make([]bool, len(ts.Names))
+	for _, e := range ts.Epochs {
+		for i, d := range e.Deltas {
+			if d != 0 {
+				moved[i] = true
+			}
+		}
+	}
+	var cols []int
+	for i, m := range moved {
+		if m {
+			cols = append(cols, i)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"cycle"}
+	for _, i := range cols {
+		header = append(header, ts.Names[i])
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 1+len(cols))
+	for _, e := range ts.Epochs {
+		row[0] = strconv.FormatUint(e.Cycle, 10)
+		for k, i := range cols {
+			row[1+k] = strconv.FormatUint(e.Deltas[i], 10)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TimelineJSON renders the full time series (every registered series, moved
+// or not) as indented JSON — the same shape GET /v1/runs/{key}/timeline
+// serves.
+func TimelineJSON(w io.Writer, ts telemetry.TimeSeries) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ts)
 }
 
 // Formats lists the result-sink formats WriteResults accepts.

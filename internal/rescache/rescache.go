@@ -198,6 +198,22 @@ func (c *Cache) GetOrRun(ctx context.Context, spec system.Spec, run func(context
 	return f.res, false, f.err
 }
 
+// Put fills the cache with an already-executed result, both tiers. It exists
+// for callers that run a Spec outside GetOrRun (telemetry-observed runs
+// execute directly so they can attach a recorder) but still want the result
+// memoized for everyone else. The fill counts as a miss: the run happened.
+func (c *Cache) Put(spec system.Spec, res system.Results) {
+	key := spec.Hash()
+	e := Entry{Spec: spec, Res: res}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.storeLocked(key, e)
+	c.mu.Unlock()
+	if c.dir != "" {
+		_ = c.diskPut(key, e) // best-effort, like GetOrRun
+	}
+}
+
 // isContextErr reports whether err is (or wraps) a cancellation.
 func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)

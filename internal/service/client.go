@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/system"
+	"repro/internal/telemetry"
 )
 
 // Client is a thin typed wrapper over the daemon's HTTP API, shared by the
@@ -260,6 +261,14 @@ func axisParam(name string, values []int) string {
 		vals[i] = strconv.Itoa(v)
 	}
 	return name + "=" + strings.Join(vals, ",")
+}
+
+// Timeline fetches the sampled counter time series of a telemetry-bearing
+// run by key.
+func (c *Client) Timeline(ctx context.Context, key string) (telemetry.TimeSeries, error) {
+	var ts telemetry.TimeSeries
+	err := c.getJSON(ctx, "/v1/runs/"+key+"/timeline", nil, &ts)
+	return ts, err
 }
 
 // Stats fetches the daemon counters.

@@ -18,8 +18,12 @@
 //	                         ?workload=name:k=v names a parameterized
 //	                         workload, ?wsweep=param=v1,v2,... adds a
 //	                         workload-parameter axis; all repeat)
-//	GET  /v1/healthz         liveness plus queue depth
+//	GET  /v1/runs/{key}/timeline
+//	                         the sampled counter time series of a run that
+//	                         was submitted with a "telemetry" block
+//	GET  /v1/healthz         liveness plus queue depth and build version
 //	GET  /v1/stats           cache hit rate, queue, and run counters
+//	GET  /metrics            Prometheus text exposition (internal/metrics)
 //
 // Submissions flow through a bounded job queue drained by a fixed pool of
 // worker goroutines, each of which executes via rescache.GetOrRun — so a
@@ -34,6 +38,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -42,10 +48,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/config"
+	"repro/internal/metrics"
 	"repro/internal/rescache"
 	"repro/internal/runner"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -63,6 +72,10 @@ type Options struct {
 	// Cache is the result store; nil means a fresh memory-only cache of
 	// DefaultCacheEntries specs.
 	Cache *rescache.Cache
+
+	// Log receives structured request and run logs; nil discards them
+	// (tests, embedded use).
+	Log *slog.Logger
 }
 
 // Defaults for Options zero values.
@@ -97,6 +110,91 @@ type Server struct {
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	rejected  atomic.Uint64
+
+	log *slog.Logger
+
+	// Operational metrics (GET /metrics).
+	reg         *metrics.Registry
+	runSeconds  *metrics.HistogramVec // run wall time by outcome
+	httpReqs    *metrics.CounterVec   // requests by route pattern and code
+	sweepsTotal *metrics.Counter
+	sweepRuns   *metrics.Counter
+	sweepActive *metrics.Gauge
+
+	// Timelines of telemetry-bearing runs, keyed like the cache but stored
+	// separately: a timeline describes one observed execution, not the
+	// result identity, so it must not affect Spec.Hash addressing.
+	tmu       sync.Mutex
+	timelines map[string]*telemetry.TimeSeries
+	torder    []string
+}
+
+// timelineCap bounds the retained timelines; past it the oldest is dropped
+// (re-submit with telemetry to regenerate).
+const timelineCap = 128
+
+func (s *Server) storeTimeline(key string, ts telemetry.TimeSeries) {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if _, ok := s.timelines[key]; !ok {
+		s.torder = append(s.torder, key)
+		if len(s.torder) > timelineCap {
+			delete(s.timelines, s.torder[0])
+			s.torder = s.torder[1:]
+		}
+	}
+	s.timelines[key] = &ts
+}
+
+func (s *Server) timeline(key string) (*telemetry.TimeSeries, bool) {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	ts, ok := s.timelines[key]
+	return ts, ok
+}
+
+// initMetrics registers the daemon's operational metrics. Queue, worker,
+// run-counter, and cache families read live state at scrape time; the
+// histograms and sweep counters are written on the run paths.
+func (s *Server) initMetrics() {
+	r := metrics.NewRegistry()
+	s.reg = r
+	r.Info("hybridsimd_build_info", "Build version of the running daemon.",
+		map[string]string{"version": buildinfo.Version()})
+	r.GaugeFunc("hybridsimd_queue_depth", "Jobs waiting in the bounded queue.",
+		func() int64 { return int64(len(s.queue)) })
+	r.GaugeFunc("hybridsimd_queue_capacity", "Bound of the job queue.",
+		func() int64 { return int64(cap(s.queue)) })
+	r.GaugeFunc("hybridsimd_workers", "Simulation worker-pool size.",
+		func() int64 { return int64(s.workers) })
+	r.CounterFunc("hybridsimd_runs_submitted_total", "Jobs accepted into the queue.", s.submitted.Load)
+	r.CounterFunc("hybridsimd_runs_completed_total", "Jobs finished successfully.", s.completed.Load)
+	r.CounterFunc("hybridsimd_runs_failed_total", "Jobs finished with an error.", s.failed.Load)
+	r.CounterFunc("hybridsimd_runs_rejected_total", "Submissions bounced off a full queue.", s.rejected.Load)
+	s.runSeconds = r.HistogramVec("hybridsimd_run_duration_seconds",
+		"Wall time to answer one run, by outcome (cached, computed, failed).",
+		nil, "outcome")
+	r.CounterFunc("hybridsimd_cache_hits_total", "Cache hits, all tiers plus singleflight followers.",
+		func() uint64 { return s.cache.Stats().Hits })
+	r.CounterFunc("hybridsimd_cache_memory_hits_total", "Memory-tier cache hits.",
+		func() uint64 { return s.cache.Stats().MemHits })
+	r.CounterFunc("hybridsimd_cache_disk_hits_total", "Disk-tier cache hits.",
+		func() uint64 { return s.cache.Stats().DiskHits })
+	r.CounterFunc("hybridsimd_cache_singleflight_hits_total", "Callers that joined an in-flight identical run.",
+		func() uint64 { return s.cache.Stats().Dedup })
+	r.CounterFunc("hybridsimd_cache_misses_total", "Requests that executed a simulation.",
+		func() uint64 { return s.cache.Stats().Misses })
+	r.CounterFunc("hybridsimd_cache_evictions_total", "Memory-tier LRU evictions.",
+		func() uint64 { return s.cache.Stats().Evictions })
+	r.GaugeFunc("hybridsimd_cache_entries", "Memory-tier population.",
+		func() int64 { return int64(s.cache.Stats().Entries) })
+	r.GaugeFunc("hybridsimd_cache_capacity", "Memory-tier bound.",
+		func() int64 { return int64(s.cache.Stats().Capacity) })
+	s.sweepsTotal = r.Counter("hybridsimd_sweeps_total", "GET /v1/sweep requests started.")
+	s.sweepRuns = r.Counter("hybridsimd_sweep_runs_total", "Runs fanned out by sweep requests.")
+	s.sweepActive = r.Gauge("hybridsimd_sweeps_active", "Sweep streams currently open.")
+	s.httpReqs = r.CounterVec("hybridsimd_http_requests_total",
+		"API requests by route pattern and status code.", "path", "code")
 }
 
 // New starts the worker pool and returns a ready Server.
@@ -113,15 +211,22 @@ func New(opt Options) *Server {
 	if cache == nil {
 		cache, _ = rescache.New(DefaultCacheEntries, "")
 	}
+	log := opt.Log
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		workers: workers,
-		cache:   cache,
-		queue:   make(chan *job, depth),
-		baseCtx: ctx,
-		cancel:  cancel,
-		runs:    make(map[string]*job),
+		workers:   workers,
+		cache:     cache,
+		queue:     make(chan *job, depth),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		runs:      make(map[string]*job),
+		log:       log,
+		timelines: make(map[string]*telemetry.TimeSeries),
 	}
+	s.initMetrics()
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -171,6 +276,11 @@ func (s *Server) execute(j *job) {
 		s.failed.Add(1)
 		return
 	}
+	if j.tel != nil && j.tel.Interval > 0 {
+		s.executeRecorded(j)
+		return
+	}
+	t0 := time.Now()
 	var wall time.Duration
 	res, hit, err := s.cache.GetOrRun(j.ctx, j.spec, func(ctx context.Context) (system.Results, error) {
 		r := runner.RunOne(ctx, j.spec)
@@ -178,10 +288,50 @@ func (s *Server) execute(j *job) {
 		return r.Res, r.Err
 	})
 	j.finish(res, hit, wall, err)
+	s.finishMetrics(j, outcomeOf(hit, err), time.Since(t0), err)
+}
+
+// executeRecorded runs a telemetry-bearing job directly (outside GetOrRun, so
+// a Recorder can be attached to the machine), then back-fills the cache and
+// stores the sampled timeline under the run key.
+func (s *Server) executeRecorded(j *job) {
+	rec := telemetry.NewRecorder(j.tel.Interval, 0)
+	t0 := time.Now()
+	res, err := j.spec.ExecuteRecorded(j.ctx, rec)
+	wall := time.Since(t0)
+	if err == nil {
+		s.cache.Put(j.spec, res)
+		s.storeTimeline(j.key, rec.Series())
+	}
+	j.finish(res, false, wall, err)
+	s.finishMetrics(j, outcomeOf(false, err), wall, err)
+}
+
+func outcomeOf(hit bool, err error) string {
+	switch {
+	case err != nil:
+		return "failed"
+	case hit:
+		return "cached"
+	default:
+		return "computed"
+	}
+}
+
+// finishMetrics publishes one finished job's counters, latency, and log line.
+func (s *Server) finishMetrics(j *job, outcome string, wall time.Duration, err error) {
 	if err != nil {
 		s.failed.Add(1)
 	} else {
 		s.completed.Add(1)
+	}
+	s.runSeconds.With(outcome).Observe(wall.Seconds())
+	if err != nil {
+		s.log.Info("run finished", "key", j.key, "spec", j.spec.Key(),
+			"outcome", outcome, "wall_ms", wall.Milliseconds(), "err", err)
+	} else {
+		s.log.Info("run finished", "key", j.key, "spec", j.spec.Key(),
+			"outcome", outcome, "wall_ms", wall.Milliseconds())
 	}
 }
 
@@ -202,6 +352,7 @@ const (
 type job struct {
 	spec   system.Spec
 	key    string
+	tel    *TelemetryOptions // non-nil: observe the run (see executeRecorded)
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -284,11 +435,25 @@ func (j *job) record() RunRecord {
 // Wire types
 
 // SubmitRequest is the POST /v1/runs body: exactly one of Spec, Specs, or
-// Matrix.
+// Matrix, optionally observed per Telemetry.
 type SubmitRequest struct {
 	Spec   *system.Spec  `json:"spec,omitempty"`
 	Specs  []system.Spec `json:"specs,omitempty"`
 	Matrix *Matrix       `json:"matrix,omitempty"`
+
+	// Telemetry asks the daemon to sample each submitted run's counters
+	// into a time series retrievable at GET /v1/runs/{key}/timeline. It is
+	// an observation request, not part of the Spec: run keys (and thus
+	// cache identity) are unchanged. A run whose result is cached but whose
+	// timeline is not is re-executed once to produce it.
+	Telemetry *TelemetryOptions `json:"telemetry,omitempty"`
+}
+
+// TelemetryOptions configures in-sim observation of submitted runs.
+type TelemetryOptions struct {
+	// Interval is the counter sampling period in simulated cycles; it must
+	// be positive for the block to have any effect.
+	Interval uint64 `json:"interval"`
 }
 
 // Matrix enumerates an axis-based sweep by name — the wire form of
@@ -422,15 +587,84 @@ type StatsResponse struct {
 // ---------------------------------------------------------------------------
 // HTTP surface
 
-// Handler returns the versioned API mux.
+// Handler returns the versioned API mux, wrapped in the logging and
+// request-metrics middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{key}", s.handleGetRun)
+	mux.HandleFunc("GET /v1/runs/{key}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streamed sweeps keep flushing
+// through the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// routeLabel maps a request path onto its route pattern, so the per-route
+// counter has bounded cardinality no matter what keys clients poll.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/runs":
+		return "/v1/runs"
+	case strings.HasPrefix(p, "/v1/runs/") && strings.HasSuffix(p, "/timeline"):
+		return "/v1/runs/{key}/timeline"
+	case strings.HasPrefix(p, "/v1/runs/"):
+		return "/v1/runs/{key}"
+	case p == "/v1/sweep", p == "/v1/healthz", p == "/v1/stats", p == "/metrics":
+		return p
+	default:
+		return "other"
+	}
+}
+
+// instrument wraps the mux with structured request logging and the per-route
+// request counter.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		route := routeLabel(r)
+		s.httpReqs.With(route, strconv.Itoa(sw.code)).Inc()
+		if route != "/metrics" && route != "/v1/healthz" { // scrape noise
+			s.log.Info("request", "method", r.Method, "path", r.URL.Path,
+				"code", sw.code, "dur_ms", time.Since(t0).Milliseconds())
+		}
+	})
+}
+
+// handleTimeline serves the sampled counter time series of one
+// telemetry-bearing run.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	ts, ok := s.timeline(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf(
+			"no timeline for run %q (submit it with a telemetry block)", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, ts)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -461,9 +695,18 @@ func queryTimeout(r *http.Request) (time.Duration, error) {
 // submit registers (or joins) the async job for spec. Completed results
 // short-circuit to a synthetic done job; a pending job for the same hash is
 // shared, so re-POSTing a slow Spec does not duplicate work or queue slots.
-func (s *Server) submit(spec system.Spec, timeout time.Duration) (*job, error) {
+// A telemetry-bearing submission only takes the cache short-circuit when the
+// timeline already exists too — otherwise the run is executed (once) to
+// produce it.
+func (s *Server) submit(spec system.Spec, timeout time.Duration, tel *TelemetryOptions) (*job, error) {
+	wantTimeline := tel != nil && tel.Interval > 0
 	if res, ok := s.cache.Get(spec); ok {
-		return doneJob(spec, res), nil
+		if !wantTimeline {
+			return doneJob(spec, res), nil
+		}
+		if _, ok := s.timeline(spec.Hash()); ok {
+			return doneJob(spec, res), nil
+		}
 	}
 	s.mu.Lock()
 	if j, ok := s.runs[spec.Hash()]; ok {
@@ -486,6 +729,9 @@ func (s *Server) submit(spec system.Spec, timeout time.Duration) (*job, error) {
 		ctx, cancel = context.WithCancel(s.baseCtx)
 	}
 	j := newJob(ctx, cancel, spec)
+	if wantTimeline {
+		j.tel = tel
+	}
 	s.runs[j.key] = j
 	s.mu.Unlock()
 
@@ -543,7 +789,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	jobs := make([]*job, 0, len(specs))
 	for _, sp := range specs {
-		j, err := s.submit(sp, timeout)
+		j, err := s.submit(sp, timeout, req.Telemetry)
 		if err != nil {
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -551,6 +797,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		jobs = append(jobs, j)
 	}
+	s.log.Info("runs submitted", "specs", len(specs),
+		"telemetry", req.Telemetry != nil && req.Telemetry.Interval > 0)
 
 	wait, _ := strconv.ParseBool(r.URL.Query().Get("wait"))
 	code := http.StatusAccepted
@@ -664,6 +912,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	s.sweepsTotal.Inc()
+	s.sweepRuns.Add(uint64(len(specs)))
+	s.sweepActive.Inc()
+	defer s.sweepActive.Dec()
+	s.log.Info("sweep started", "runs", len(specs))
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
@@ -728,6 +982,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
+		"version":     buildinfo.Version(),
 		"queue_depth": len(s.queue),
 		"queue_cap":   cap(s.queue),
 		"workers":     s.workers,

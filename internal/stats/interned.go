@@ -98,6 +98,15 @@ func (c *Counters) Keys() []string {
 	return keys
 }
 
+// AllNames returns every registered name in registration order, touched or
+// not — the full schema of the set. Telemetry uses this to fix a time-series
+// layout up front, before any counter has moved.
+func (c *Counters) AllNames() []string {
+	out := make([]string, len(c.reg.names))
+	copy(out, c.reg.names)
+	return out
+}
+
 // Snapshot returns the touched counters as a map, matching Set.Snapshot.
 func (c *Counters) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64, len(c.v))

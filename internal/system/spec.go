@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -350,6 +351,16 @@ func (s Spec) Execute() (Results, error) {
 // ctx between event batches, so client disconnects and per-request deadlines
 // stop a simulation mid-run instead of burning the rest of it.
 func (s Spec) ExecuteContext(ctx context.Context) (Results, error) {
+	return s.ExecuteRecorded(ctx, nil)
+}
+
+// ExecuteRecorded is ExecuteContext with an observer: rec (if non-nil) is
+// attached to the machine before the run, so it samples counters and/or
+// traces events while the benchmark executes. Telemetry never feeds back into
+// simulated behavior — Results are identical with or without rec — so it is
+// deliberately not part of the Spec (and thus not part of the cache
+// identity): it describes how to watch a run, not which run to do.
+func (s Spec) ExecuteRecorded(ctx context.Context, rec *telemetry.Recorder) (Results, error) {
 	if err := s.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -361,6 +372,9 @@ func (s Spec) ExecuteContext(ctx context.Context) (Results, error) {
 	m, err := Build(s.Config(), bench, s.seed())
 	if err != nil {
 		return Results{}, err
+	}
+	if rec != nil {
+		m.Attach(rec)
 	}
 	return m.RunContext(ctx, s.MaxEvents)
 }

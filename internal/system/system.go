@@ -19,6 +19,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/sim"
 	"repro/internal/spm"
+	"repro/internal/telemetry"
 )
 
 // stackBase returns core c's stack region (thread-private, far from the
@@ -45,6 +46,60 @@ type Machine struct {
 	freeSpmToks *spmTok
 
 	bench *compiler.Benchmark
+
+	// rec, when attached, observes the run (counter sampling and/or event
+	// tracing). Nil on ordinary runs — the whole telemetry layer then costs
+	// one nil check here plus one per instrumented component site.
+	rec *telemetry.Recorder
+}
+
+// Attach wires an observer into the machine: the recorder's trace (if any)
+// into every traced component, and one probe per counter of every stats
+// surface the machine exposes. Call between Build and Run; RunContext then
+// drives the recorder's sampling lifecycle.
+func (m *Machine) Attach(rec *telemetry.Recorder) {
+	m.rec = rec
+	rec.Bind(m.Eng)
+	if tr := rec.Tracer(); tr != nil {
+		m.Mesh.SetTrace(tr)
+		m.Hier.SetTrace(tr)
+		m.Cluster.SetTrace(tr)
+		if m.Protocol != nil {
+			m.Protocol.SetTrace(tr)
+		}
+		for _, d := range m.DMACs {
+			d.SetTrace(tr)
+		}
+	}
+	rec.AddProbe("core.retired", m.Cluster.Retired)
+	rec.AddProbe("core.flushes", m.Cluster.Flushes)
+	for c := noc.Category(0); c < noc.NumCategories; c++ {
+		c := c
+		rec.AddProbe("noc.pkts."+c.String(), func() uint64 { return m.Mesh.Packets(c) })
+	}
+	rec.AddProbe("noc.flithops", m.Mesh.TotalFlitHops)
+	rec.AddCounters("coherence", m.Hier.Stats())
+	if m.Protocol != nil {
+		rec.AddCounters("protocol", m.Protocol.Stats())
+	}
+	if len(m.DMACs) > 0 {
+		rec.AddProbe("dma.lines", func() uint64 {
+			var t uint64
+			for _, d := range m.DMACs {
+				t += d.LineTransfers()
+			}
+			return t
+		})
+	}
+	if len(m.SPMs) > 0 {
+		rec.AddProbe("spm.accesses", func() uint64 {
+			var t uint64
+			for _, s := range m.SPMs {
+				t += s.TotalAccesses()
+			}
+			return t
+		})
+	}
 }
 
 // memControllerNodes spreads the memory controllers over two interior mesh
@@ -283,6 +338,9 @@ const ctxPollEvents = 1 << 12
 // request deadline, daemon shutdown) stops the simulation mid-run.
 func (m *Machine) RunContext(ctx context.Context, maxEvents uint64) (Results, error) {
 	m.Cluster.Start()
+	if m.rec != nil {
+		m.rec.Start()
+	}
 	next := uint64(ctxPollEvents)
 	for m.Eng.Step() {
 		fired := m.Eng.Fired()
@@ -298,6 +356,9 @@ func (m *Machine) RunContext(ctx context.Context, maxEvents uint64) (Results, er
 	}
 	if !m.Cluster.AllDone() {
 		return Results{}, fmt.Errorf("system: deadlock — engine drained at cycle %d with unfinished cores", m.Eng.Now())
+	}
+	if m.rec != nil {
+		m.rec.Finish()
 	}
 	return m.collect(), nil
 }

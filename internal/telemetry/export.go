@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// nocCategories names KNoCSend's packed traffic category (Arg2 low bits).
+// The order mirrors noc.Category's constants; the noc package imports
+// telemetry, so the names are mirrored here rather than referenced.
+var nocCategories = []string{"Ifetch", "Read", "Write", "WB-Repl", "DMA", "CohProt"}
+
+// args decodes an event's packed Arg/Arg2 into named exporter fields.
+func (e Event) args() map[string]any {
+	a := map[string]any{}
+	switch e.Kind {
+	case KNoCSend:
+		a["src"] = e.Core
+		a["dst"] = e.Arg
+		a["bytes"] = e.Arg2 >> 4
+		if cat := int(e.Arg2 & 0xF); cat < len(nocCategories) {
+			a["cat"] = nocCategories[cat]
+		}
+	case KCohAccess, KGuarded:
+		a["addr"] = fmt.Sprintf("%#x", e.Arg)
+		if e.Arg2 != 0 {
+			a["write"] = true
+		}
+	case KCohDMARead, KCohDMAWrite:
+		a["line"] = fmt.Sprintf("%#x", e.Arg)
+	case KDMACmd:
+		a["gm_addr"] = fmt.Sprintf("%#x", e.Arg)
+		a["bytes"] = e.Arg2 >> 1
+		if e.Arg2&1 != 0 {
+			a["put"] = true
+		}
+	case KDMATag:
+		a["tag"] = e.Arg
+	case KStall:
+		if int(e.Arg) < len(StallReasons) {
+			a["reason"] = StallReasons[e.Arg]
+		} else {
+			a["reason"] = e.Arg
+		}
+	case KFlush:
+		a["addr"] = fmt.Sprintf("%#x", e.Arg)
+	}
+	return a
+}
+
+// jsonlEvent is the JSONL wire form of one event.
+type jsonlEvent struct {
+	Cycle uint64         `json:"cycle"`
+	Dur   uint64         `json:"dur,omitempty"`
+	Kind  string         `json:"kind"`
+	Core  int32          `json:"core"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSONL emits one self-describing JSON object per event — the format
+// for ad-hoc scripting (jq, pandas) over a trace.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		je := jsonlEvent{
+			Cycle: uint64(e.Cycle),
+			Dur:   uint64(e.Dur),
+			Kind:  e.Kind.String(),
+			Core:  e.Core,
+			Args:  e.args(),
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   *uint64        `json:"dur,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int32          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event container.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace emits the events in Chrome trace_event JSON, directly
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. One simulated
+// cycle maps to one microsecond of trace time; tracks are per core (tid),
+// spans render as complete ("X") events, instants as thread-scoped "i"
+// events. meta lands in otherData (run key, spec, drop count).
+func WriteChromeTrace(w io.Writer, events []Event, meta map[string]string) error {
+	ct := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)),
+		DisplayTimeUnit: "ms",
+		OtherData:       meta,
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Cat:  e.Kind.String(),
+			TID:  e.Core,
+			Args: e.args(),
+		}
+		if e.Dur > 0 {
+			d := uint64(e.Dur)
+			ce.Phase = "X"
+			ce.TS = uint64(e.Cycle - e.Dur)
+			ce.Dur = &d
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+			ce.TS = uint64(e.Cycle)
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}

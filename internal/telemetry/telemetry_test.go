@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type countCont struct{ fired int }
+
+func (c *countCont) Fire() { c.fired++ }
+
+func TestTraceRingOverwritesOldest(t *testing.T) {
+	tr := newTrace(4)
+	tr.eng = sim.NewEngine()
+	for i := 0; i < 10; i++ {
+		tr.Add(KNoCSend, 0, 0, uint64(i), 0)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Arg != want {
+			t.Errorf("Events()[%d].Arg = %d, want %d (oldest-first suffix)", i, e.Arg, want)
+		}
+	}
+}
+
+func TestSpanRecordsDurationAndRecycles(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := newTrace(8)
+	tr.eng = eng
+	done := &countCont{}
+
+	c := tr.Span(KCohAccess, 3, 0x40, 1, done)
+	eng.ScheduleCont(10, c)
+	eng.Run()
+
+	if done.fired != 1 {
+		t.Fatalf("wrapped continuation fired %d times, want 1", done.fired)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	e := tr.Events()[0]
+	if e.Kind != KCohAccess || e.Core != 3 || e.Cycle != 10 || e.Dur != 10 || e.Arg != 0x40 || e.Arg2 != 1 {
+		t.Fatalf("recorded event = %+v, want {Cycle:10 Dur:10 Kind:KCohAccess Core:3 Arg:0x40 Arg2:1}", e)
+	}
+
+	// The fired span must have returned to the free list and be reused by
+	// the next Span — the steady state of a traced run allocates nothing.
+	recycled := tr.freeSpans
+	if recycled == nil {
+		t.Fatal("fired span was not recycled onto the free list")
+	}
+	if got := tr.Span(KGuarded, 0, 0, 0, done); got != sim.Cont(recycled) {
+		t.Error("Span did not reuse the recycled node")
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	eng := sim.NewEngine()
+	var a, b uint64
+	r := NewRecorder(10, 0)
+	r.Bind(eng)
+	r.AddProbe("a", func() uint64 { return a })
+	r.AddProbe("b", func() uint64 { return b })
+
+	for _, at := range []sim.Time{5, 15, 25} {
+		eng.Schedule(at, func() { a++ })
+	}
+	eng.Schedule(25, func() { b += 3 })
+
+	r.Start()
+	eng.Run()
+	r.Finish()
+
+	ts := r.Series()
+	if ts.Interval != 10 {
+		t.Errorf("Interval = %d, want 10", ts.Interval)
+	}
+	if len(ts.Names) != 2 || ts.Names[0] != "a" || ts.Names[1] != "b" {
+		t.Errorf("Names = %v, want [a b]", ts.Names)
+	}
+	want := []Epoch{
+		{Cycle: 10, Deltas: []uint64{1, 0}},
+		{Cycle: 20, Deltas: []uint64{1, 0}},
+		{Cycle: 30, Deltas: []uint64{1, 3}},
+	}
+	if len(ts.Epochs) != len(want) {
+		t.Fatalf("got %d epochs %v, want %d", len(ts.Epochs), ts.Epochs, len(want))
+	}
+	for i, w := range want {
+		g := ts.Epochs[i]
+		if g.Cycle != w.Cycle || len(g.Deltas) != len(w.Deltas) {
+			t.Fatalf("epoch %d = %+v, want %+v", i, g, w)
+		}
+		for j := range w.Deltas {
+			if g.Deltas[j] != w.Deltas[j] {
+				t.Errorf("epoch %d delta %d = %d, want %d", i, j, g.Deltas[j], w.Deltas[j])
+			}
+		}
+	}
+	if ts.FinalCycle != 30 {
+		t.Errorf("FinalCycle = %d, want 30", ts.FinalCycle)
+	}
+}
+
+func TestRecorderElidesQuietEpochs(t *testing.T) {
+	eng := sim.NewEngine()
+	var a uint64
+	r := NewRecorder(10, 0)
+	r.Bind(eng)
+	r.AddProbe("a", func() uint64 { return a })
+	eng.Schedule(5, func() { a++ })
+	eng.Schedule(35, func() { a++ })
+
+	r.Start()
+	eng.Run()
+	r.Finish()
+
+	ts := r.Series()
+	if len(ts.Epochs) != 2 {
+		t.Fatalf("got %d epochs %v, want 2 (quiet periods elided)", len(ts.Epochs), ts.Epochs)
+	}
+	if ts.Epochs[0].Cycle != 10 || ts.Epochs[1].Cycle != 40 {
+		t.Errorf("epoch cycles = %d, %d, want 10, 40", ts.Epochs[0].Cycle, ts.Epochs[1].Cycle)
+	}
+}
+
+func TestRecorderStopsWhenDrained(t *testing.T) {
+	eng := sim.NewEngine()
+	var a uint64
+	r := NewRecorder(10, 0)
+	r.Bind(eng)
+	r.AddProbe("a", func() uint64 { return a })
+	eng.Schedule(3, func() { a++ })
+
+	r.Start()
+	eng.Run() // must terminate: the sampler stops once it is the only work
+	r.Finish()
+
+	if eng.Pending() != 0 {
+		t.Fatalf("engine still has %d pending events after Run", eng.Pending())
+	}
+}
+
+func TestFinishOnUnstartedRecorderIsNoop(t *testing.T) {
+	r := NewRecorder(0, 0) // inert: no sampling, no trace
+	r.Bind(sim.NewEngine())
+	r.Start()
+	r.Finish()
+	if ts := r.Series(); len(ts.Epochs) != 0 || ts.FinalCycle != 0 {
+		t.Errorf("inert recorder produced %+v", ts)
+	}
+}
+
+// sampleEvents covers every kind once, with representative packings.
+func sampleEvents() []Event {
+	return []Event{
+		{Cycle: 12, Kind: KNoCSend, Core: 1, Arg: 5, Arg2: 64<<4 | 5},
+		{Cycle: 20, Dur: 8, Kind: KCohAccess, Core: 2, Arg: 0x1040, Arg2: 1},
+		{Cycle: 30, Dur: 4, Kind: KCohDMARead, Core: 0, Arg: 0x2000},
+		{Cycle: 31, Dur: 4, Kind: KCohDMAWrite, Core: 0, Arg: 0x2040},
+		{Cycle: 40, Kind: KDMACmd, Core: 3, Arg: 0x8000, Arg2: 256<<1 | 1},
+		{Cycle: 55, Dur: 15, Kind: KDMATag, Core: 3, Arg: 2},
+		{Cycle: 60, Dur: 6, Kind: KStall, Core: 1, Arg: 4},
+		{Cycle: 61, Kind: KFlush, Core: 1, Arg: 0x100},
+		{Cycle: 70, Dur: 9, Kind: KGuarded, Core: 2, Arg: 0x300, Arg2: 1},
+	}
+}
+
+func TestWriteJSONLParses(t *testing.T) {
+	var buf bytes.Buffer
+	events := sampleEvents()
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var je map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			t.Fatalf("line %d is not JSON: %v", n, err)
+		}
+		if _, ok := je["kind"].(string); !ok {
+			t.Fatalf("line %d has no kind: %s", n, sc.Text())
+		}
+		n++
+	}
+	if n != len(events) {
+		t.Fatalf("got %d JSONL lines, want %d", n, len(events))
+	}
+}
+
+func TestWriteChromeTraceParses(t *testing.T) {
+	var buf bytes.Buffer
+	events := sampleEvents()
+	if err := WriteChromeTrace(&buf, events, map[string]string{"dropped": "0"}); err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    uint64  `json:"ts"`
+			Dur   *uint64 `json:"dur"`
+			Scope string  `json:"s"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("not a trace_event JSON document: %v", err)
+	}
+	if len(ct.TraceEvents) != len(events) {
+		t.Fatalf("got %d trace events, want %d", len(ct.TraceEvents), len(events))
+	}
+	if ct.OtherData["dropped"] != "0" {
+		t.Errorf("otherData = %v, want dropped=0", ct.OtherData)
+	}
+	for i, ce := range ct.TraceEvents {
+		e := events[i]
+		switch {
+		case e.Dur > 0:
+			if ce.Phase != "X" || ce.Dur == nil {
+				t.Errorf("event %d (%s): span exported as ph=%q dur=%v", i, e.Kind, ce.Phase, ce.Dur)
+				continue
+			}
+			if ce.TS+*ce.Dur != uint64(e.Cycle) {
+				t.Errorf("event %d (%s): ts %d + dur %d != end cycle %d", i, e.Kind, ce.TS, *ce.Dur, e.Cycle)
+			}
+		default:
+			if ce.Phase != "i" || ce.Scope != "t" || ce.TS != uint64(e.Cycle) {
+				t.Errorf("event %d (%s): instant exported as ph=%q s=%q ts=%d", i, e.Kind, ce.Phase, ce.Scope, ce.TS)
+			}
+		}
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	if numKinds.String() != "unknown" {
+		t.Errorf("out-of-range kind renders %q", numKinds.String())
+	}
+}

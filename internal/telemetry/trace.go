@@ -1,0 +1,166 @@
+package telemetry
+
+import "repro/internal/sim"
+
+// Kind classifies one trace event. The set is deliberately small and flat —
+// exporters map kinds to names; components pack their detail into Arg/Arg2.
+type Kind uint8
+
+const (
+	// KNoCSend is a packet injection: Core = source node, Arg = destination
+	// node, Arg2 = bytes<<4 | traffic category (noc.Category).
+	KNoCSend Kind = iota
+	// KCohAccess is one coherent L1D demand access, begin-to-done:
+	// Arg = byte address, Arg2 = 1 for writes.
+	KCohAccess
+	// KCohDMARead is one dma-get line fetch riding the GM protocol,
+	// begin-to-done: Arg = line address.
+	KCohDMARead
+	// KCohDMAWrite is one dma-put line write, begin-to-done: Arg = line
+	// address.
+	KCohDMAWrite
+	// KDMACmd is a DMA command acceptance at the controller (instant):
+	// Arg = GM address, Arg2 = bytes<<1 | put.
+	KDMACmd
+	// KDMATag is the retirement of every transfer under one DMA tag; the
+	// duration spans first enqueue to last line completion. Arg = tag.
+	KDMATag
+	// KStall is one core stall, block-to-unblock: Arg = stall reason (an
+	// index into StallReasons, mirroring cpu's blockReason order).
+	KStall
+	// KFlush is an LSQ-ordering pipeline flush (instant): Arg = the
+	// conflicting SPM address (paper §3.4).
+	KFlush
+	// KGuarded is one guarded access through the SPM coherence protocol,
+	// begin-to-done: Arg = byte address, Arg2 = 1 for stores.
+	KGuarded
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"noc.send", "coh.access", "coh.dma_read", "coh.dma_write",
+	"dma.cmd", "dma.tag", "core.stall", "core.flush", "prot.guarded",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// StallReasons names KStall's Arg values. The order mirrors cpu's
+// blockReason constants (cpu/core.go); index 0 is unused.
+var StallReasons = []string{
+	"none", "load", "store", "ifetch", "dma", "sync", "barrier", "drain",
+}
+
+// Event is one recorded trace event. Cycle is the event's end (or instant)
+// timestamp; Dur > 0 makes it a span beginning at Cycle-Dur.
+type Event struct {
+	Cycle sim.Time
+	Dur   sim.Time
+	Kind  Kind
+	Core  int32
+	Arg   uint64
+	Arg2  uint64
+}
+
+// Trace is a bounded ring buffer of events. When full it overwrites the
+// oldest entries (the interesting end of a trace is almost always the most
+// recent window) and counts what it dropped, so an exporter can say the
+// trace is a suffix.
+type Trace struct {
+	eng     *sim.Engine
+	buf     []Event
+	next    int // write cursor
+	n       int // population (<= len(buf))
+	dropped uint64
+
+	freeSpans *span
+}
+
+func newTrace(capacity int) *Trace {
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Add records one event ending now.
+func (t *Trace) Add(k Kind, core int, dur sim.Time, arg, arg2 uint64) {
+	if t.n == len(t.buf) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.buf[t.next] = Event{Cycle: t.eng.Now(), Dur: dur, Kind: k, Core: int32(core), Arg: arg, Arg2: arg2}
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+}
+
+// span is a pooled continuation wrapper: it stamps the begin cycle, and on
+// Fire records the completed event before chaining to the wrapped
+// continuation. Tracing is opt-in, so this indirection exists only on
+// traced runs; the node recycles through the trace's free list, so even a
+// traced run's steady state allocates nothing here.
+type span struct {
+	tr   *Trace
+	kind Kind
+	core int32
+	arg  uint64
+	arg2 uint64
+	t0   sim.Time
+	done sim.Cont
+	next *span
+}
+
+func (s *span) Fire() {
+	tr, done := s.tr, s.done
+	tr.Add(s.kind, int(s.core), tr.eng.Now()-s.t0, s.arg, s.arg2)
+	s.done = nil
+	s.next = tr.freeSpans
+	tr.freeSpans = s
+	done.Fire()
+}
+
+// Span wraps done so that its firing records a (begin=now, end=fire) event.
+// Instrumented components call it behind their nil-trace check:
+//
+//	if h.tr != nil {
+//		done = h.tr.Span(telemetry.KCohAccess, core, addr, w, done)
+//	}
+func (t *Trace) Span(k Kind, core int, arg, arg2 uint64, done sim.Cont) sim.Cont {
+	s := t.freeSpans
+	if s != nil {
+		t.freeSpans = s.next
+		s.next = nil
+	} else {
+		s = &span{tr: t}
+	}
+	s.kind = k
+	s.core = int32(core)
+	s.arg, s.arg2 = arg, arg2
+	s.t0 = t.eng.Now()
+	s.done = done
+	return s
+}
+
+// Events returns the retained events oldest-first.
+func (t *Trace) Events() []Event {
+	out := make([]Event, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Dropped reports how many events were overwritten after the ring filled.
+func (t *Trace) Dropped() uint64 { return t.dropped }
+
+// Len reports the retained event count.
+func (t *Trace) Len() int { return t.n }

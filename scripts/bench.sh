@@ -71,8 +71,10 @@ for name, c in cur.items():
         continue
     def ratio(key):
         a, b = p.get(key), c.get(key)
-        if not a or b is None:
-            return b, "-"
+        if b is None:
+            return "-", "-"  # metric absent from the current run
+        if not a:
+            return b, "-"  # no baseline (absent or zero): show the value, skip the ratio
         return b, f"{b / a:.2f}"
     ns, nsx = ratio("ns/op")
     al, alx = ratio("allocs/op")
@@ -81,4 +83,6 @@ for name in prev:
     if name not in cur:
         print(f"  {name:<34} (removed)")
 PY
+else
+  echo "no previous BENCH_*.json artifact — skipping the delta report" >&2
 fi

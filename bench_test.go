@@ -107,15 +107,19 @@ func BenchmarkFig8FilterHitRatio(b *testing.B) {
 // BenchmarkFig9Performance regenerates Figure 9: cache vs hybrid execution
 // time with the control/sync/work split.
 func BenchmarkFig9Performance(b *testing.B) {
-	var speedup, workRatio float64
+	var speedup, workRatio, filterHit, energy float64
 	for i := 0; i < b.N; i++ {
 		c := run(b, "FT", config.CacheBased)
 		h := run(b, "FT", config.HybridReal)
 		speedup = float64(c.Cycles) / float64(h.Cycles)
 		workRatio = float64(h.PhaseCycles[isa.PhaseWork]) / float64(c.PhaseCycles[isa.PhaseWork])
+		filterHit = h.FilterHitRatio
+		energy = h.Energy.Total()
 	}
 	b.ReportMetric(speedup, "speedup(x)")
 	b.ReportMetric(workRatio, "workPhase(h/c)")
+	b.ReportMetric(filterHit*100, "filterHit(%)")
+	b.ReportMetric(energy, "energy(pJ)")
 }
 
 // BenchmarkFig10NoCTraffic regenerates Figure 10: total and per-category

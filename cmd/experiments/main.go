@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/buildinfo"
 	"repro/internal/compiler"
 	"repro/internal/config"
@@ -44,7 +45,7 @@ func fatalf(format string, args ...any) {
 // -workload spelling when given — and prints the per-column CSV:
 // design-space exploration beyond the paper's fixed exhibits.
 func runCustomSweep(ctx context.Context, workload string, cores int, scale workloads.Scale,
-	base config.Overrides, sweeps, wsweeps []string, opt runner.Options, outPath, outFormat string) {
+	base config.Overrides, sweeps, wsweeps []string, opt runner.Options, outPath, outFormat string, analyze bool) {
 	axes, err := runner.ParseKnobAxes(sweeps)
 	if err != nil {
 		fatalf("%v", err)
@@ -76,6 +77,10 @@ func runCustomSweep(ctx context.Context, workload string, cores int, scale workl
 	if err := report.SweepCSV(os.Stdout, specs, results); err != nil {
 		fatalf("%v", err)
 	}
+	if analyze {
+		// Stderr keeps the CSV stream on stdout machine-readable.
+		report.SweepFindingsText(os.Stderr, analysis.Sweep(specs, results))
+	}
 	if outPath == "" {
 		return
 	}
@@ -105,6 +110,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this much wall-clock (0 = unlimited)")
 	workloadFlag := flag.String("workload", "", "narrow the custom sweep to one workload spelling name[:param=value,...] (see -workloads)")
 	listWorkloads := flag.Bool("workloads", false, "list the workload catalog (names, params, defaults) and exit")
+	analyze := flag.Bool("analyze", false, "append advisor findings: per-run bottlenecks after the figures, axis attribution after -sweep/ablation")
 	var sets, sweeps, wsweeps runner.MultiFlag
 	flag.Var(&sets, "set", "override one machine knob on every run, name=value (repeatable; cores=N wins over -cores)")
 	flag.Var(&sweeps, "sweep", "run ONLY a custom knob sweep over the workloads on the hybrid system, name=v1,v2,... (repeatable; prints a per-column CSV and honors -out csv/json)")
@@ -157,7 +163,7 @@ func main() {
 		if outFormat == "jsonl" {
 			fatalf("-sweep supports csv and json sinks, not jsonl")
 		}
-		runCustomSweep(ctx, *workloadFlag, *cores, scale, overrides, sweeps, wsweeps, opt, *outPath, outFormat)
+		runCustomSweep(ctx, *workloadFlag, *cores, scale, overrides, sweeps, wsweeps, opt, *outPath, outFormat, *analyze)
 		return
 	}
 	if *workloadFlag != "" {
@@ -200,6 +206,7 @@ func main() {
 	}
 
 	var all []system.Results
+	var allSpecs []system.Spec
 
 	if needsRuns {
 		names := workloads.NAS()
@@ -217,6 +224,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		allSpecs = specs
 		cacheRes := map[string]system.Results{}
 		hybridRes := map[string]system.Results{}
 		idealRes := map[string]system.Results{}
@@ -253,8 +261,31 @@ func main() {
 		}
 	}
 
+	if *analyze && needsRuns {
+		// Per-run advisor pass over the benchmark matrix; results-only input,
+		// so counter-level rules report as skipped (hybridsim -analyze has
+		// them). Only runs with findings print.
+		fmt.Println("Advisor findings across the benchmark matrix")
+		any := false
+		for i, r := range all {
+			rep := analysis.Analyze(analysis.Input{Config: allSpecs[i].Config(), Results: r})
+			if len(rep.Findings) == 0 {
+				continue
+			}
+			any = true
+			fmt.Printf("  %s:\n", allSpecs[i].Key())
+			for _, f := range rep.Findings {
+				fmt.Printf("    [%s] %s: %s\n", strings.ToUpper(string(f.Severity)), f.Rule, f.Message)
+			}
+		}
+		if !any {
+			fmt.Println("  none")
+		}
+		fmt.Println()
+	}
+
 	if want("ablation") {
-		runAblation(ctx, *cores, scale, overrides, opt)
+		runAblation(ctx, *cores, scale, overrides, opt, *analyze)
 	}
 
 	if *outPath != "" && len(all) > 0 {
@@ -288,7 +319,7 @@ func sinkFormat(format, path string) string {
 // runAblation sweeps the filter size on IS (the most filter-sensitive
 // benchmark) — the design-choice study DESIGN.md calls Ablation A. It is
 // the fixed-axis special case of the -sweep machinery.
-func runAblation(ctx context.Context, cores int, scale workloads.Scale, base config.Overrides, opt runner.Options) {
+func runAblation(ctx context.Context, cores int, scale workloads.Scale, base config.Overrides, opt runner.Options, analyze bool) {
 	sizes := []int{8, 16, 32, 48, 64}
 	specs, err := runner.Axes{
 		Benchmarks: []string{"IS"},
@@ -310,5 +341,8 @@ func runAblation(ctx context.Context, cores int, scale workloads.Scale, base con
 	for i, r := range results {
 		fmt.Printf("  %-8d %-10.4f %-10d %-10d\n",
 			sizes[i], r.FilterHitRatio, r.Cycles, r.NoCPackets[noc.CohProt])
+	}
+	if analyze {
+		report.SweepFindingsText(os.Stdout, analysis.Sweep(specs, results))
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/buildinfo"
 	"repro/internal/config"
 	"repro/internal/isa"
@@ -63,6 +64,8 @@ func main() {
 	timelinePath := flag.String("timeline", "", "write the -interval time series here (.json = JSON, else CSV; default stdout CSV)")
 	tracePath := flag.String("trace", "", "record an event trace here (.jsonl = JSON lines, else Chrome trace_event JSON for Perfetto)")
 	traceEvents := flag.Int("trace-events", 1<<16, "event-trace ring-buffer capacity (oldest events drop first)")
+	analyze := flag.Bool("analyze", false, "run the bottleneck advisor over the finished run and print its findings")
+	findingsPath := flag.String("findings", "", "write -analyze findings as JSON here (default: text after the report; CSV mode: text to stderr)")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -145,7 +148,7 @@ func main() {
 			os.Exit(2)
 		}
 		runSweep(ctx, sys, workloads.FormatWorkload(bench, params), scale,
-			*cores, *maxEvents, overrides, sweeps, wsweeps, *workers)
+			*cores, *maxEvents, overrides, sweeps, wsweeps, *workers, *analyze)
 		return
 	}
 
@@ -170,7 +173,16 @@ func main() {
 		}
 		rec = telemetry.NewRecorder(*interval, events)
 	}
-	r, err := spec.ExecuteRecorded(ctx, rec)
+	// -analyze observes the run through the same execute path, snapshotting
+	// the raw hardware counters after completion so every advisor rule has
+	// its input. Observation only: results are bit-identical either way.
+	var r system.Results
+	var stats map[string]uint64
+	if *analyze {
+		r, stats, err = spec.ExecuteObserved(ctx, rec)
+	} else {
+		r, err = spec.ExecuteRecorded(ctx, rec)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
 		stopProfiles()
@@ -186,10 +198,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	advise := func(textOut *os.File) {
+		if !*analyze {
+			return
+		}
+		in := analysis.Input{Config: spec.Config(), Results: r, Stats: stats}
+		if rec != nil && rec.Interval() > 0 {
+			ts := rec.Series()
+			in.Series = &ts
+		}
+		rep := analysis.Analyze(in)
+		if *findingsPath != "" {
+			f, err := os.Create(*findingsPath)
+			if err == nil {
+				err = report.FindingsJSON(f, rep)
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				stopProfiles()
+				os.Exit(1)
+			}
+			return
+		}
+		report.FindingsText(textOut, rep)
+	}
 
 	if *csv {
 		report.CSV(os.Stdout, []system.Results{r})
 		export()
+		advise(os.Stderr) // keep stdout machine-readable
 		return
 	}
 
@@ -231,6 +269,7 @@ func main() {
 		fmt.Printf("  DMA line xfers   %d\n", r.DMALineTransfers)
 	}
 	export()
+	advise(os.Stdout)
 }
 
 // exportTelemetry writes the recorder's products: the sampled time series to
@@ -329,7 +368,7 @@ func startProfiles(cpuPath, memPath string) func() {
 // over the selected workload and system and prints the per-column CSV
 // (report.SweepCSV).
 func runSweep(ctx context.Context, sys config.MemorySystem, workload string, scale workloads.Scale,
-	cores int, maxEvents uint64, base config.Overrides, sweeps, wsweeps []string, workers int) {
+	cores int, maxEvents uint64, base config.Overrides, sweeps, wsweeps []string, workers int, analyze bool) {
 	axes, err := runner.ParseKnobAxes(sweeps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -362,5 +401,9 @@ func runSweep(ctx context.Context, sys config.MemorySystem, workload string, sca
 	if err := report.SweepCSV(os.Stdout, specs, results); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if analyze {
+		// Stderr keeps the CSV stream on stdout machine-readable.
+		report.SweepFindingsText(os.Stderr, analysis.Sweep(specs, results))
 	}
 }

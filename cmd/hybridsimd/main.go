@@ -54,6 +54,7 @@ func main() {
 	queue := flag.Int("queue", service.DefaultQueueDepth, "job queue depth; a full queue rejects submissions with 503")
 	cacheEntries := flag.Int("cache-entries", service.DefaultCacheEntries, "in-memory result cache capacity (specs)")
 	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result tier (empty = memory only)")
+	timelineCap := flag.Int("timeline-cap", service.DefaultTimelineCap, "retained run timelines; past it the oldest is dropped")
 	pprofOn := flag.Bool("pprof", false, "serve mode: expose Go profiling handlers under /debug/pprof/ (opt-in)")
 
 	// Client-mode flags.
@@ -68,6 +69,7 @@ func main() {
 	var wsweeps runner.MultiFlag
 	flag.Var(&wsweeps, "wsweep", "client mode: sweep one workload parameter, name=v1,v2,... (repeatable; implies -sweep)")
 	stats := flag.Bool("stats", false, "client mode: print daemon stats and exit")
+	analyze := flag.Bool("analyze", false, "client mode: fetch the run's bottleneck analysis (single run) or a cross-run sweep analysis (-sweep)")
 	timeout := flag.Duration("timeout", 0, "client mode: per-request deadline forwarded to the daemon (0 = none)")
 	var sets runner.MultiFlag
 	flag.Var(&sets, "set", "client mode: override one machine knob, name=value (repeatable; cores=N wins over -cores)")
@@ -98,10 +100,10 @@ func main() {
 		}
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		runClient(*client, *benchName, *workloadFlag, *sysName, *scaleName, *cores, sweep, wsweeps, *stats, *timeout, sets, explicit)
+		runClient(*client, *benchName, *workloadFlag, *sysName, *scaleName, *cores, sweep, wsweeps, *stats, *analyze, *timeout, sets, explicit)
 		return
 	}
-	serve(*addr, *workers, *queue, *cacheEntries, *cacheDir, *pprofOn)
+	serve(*addr, *workers, *queue, *cacheEntries, *cacheDir, *timelineCap, *pprofOn)
 }
 
 // sweepFlag keeps the historical bare "-sweep" boolean (stream the full
@@ -129,13 +131,14 @@ func (f *sweepFlag) Set(s string) error {
 }
 
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully.
-func serve(addr string, workers, queue, cacheEntries int, cacheDir string, pprofOn bool) {
+func serve(addr string, workers, queue, cacheEntries int, cacheDir string, timelineCap int, pprofOn bool) {
 	cache, err := rescache.New(cacheEntries, cacheDir)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv := service.New(service.Options{Workers: workers, QueueDepth: queue, Cache: cache, Log: log})
+	srv := service.New(service.Options{Workers: workers, QueueDepth: queue, Cache: cache,
+		TimelineCap: timelineCap, Log: log})
 	defer srv.Close()
 
 	handler := srv.Handler()
@@ -174,7 +177,7 @@ func serve(addr string, workers, queue, cacheEntries int, cacheDir string, pprof
 
 // runClient executes one client-mode action against a running daemon.
 // explicit records which flags the user actually passed (flag.Visit).
-func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores int, sweep sweepFlag, wsweeps []string, stats bool, timeout time.Duration, sets []string, explicit map[string]bool) {
+func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores int, sweep sweepFlag, wsweeps []string, stats, analyze bool, timeout time.Duration, sets []string, explicit map[string]bool) {
 	c := &service.Client{Base: base}
 	ctx := context.Background()
 	if err := c.Healthz(ctx); err != nil {
@@ -221,7 +224,7 @@ func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores i
 		if err != nil {
 			fatalf("%v", err)
 		}
-		m := service.Matrix{Scale: scaleName, Cores: cores, Sweep: axes, WSweep: waxes}
+		m := service.Matrix{Scale: scaleName, Cores: cores, Sweep: axes, WSweep: waxes, Analyze: analyze}
 		if explicit["bench"] || explicit["workload"] {
 			m.Benchmarks = []string{workloads.FormatWorkload(bench, params)}
 		}
@@ -246,6 +249,9 @@ func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores i
 		}
 		fmt.Printf("sweep: %d runs, %d failed, %.1fs wall, cache hit-rate %s\n",
 			sum.Runs, sum.Failed, sum.WallMS/1000, hitRate(sum.Cache))
+		if sum.Analysis != nil {
+			report.SweepFindingsText(os.Stdout, *sum.Analysis)
+		}
 		if sum.Failed > 0 {
 			os.Exit(1)
 		}
@@ -270,6 +276,13 @@ func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores i
 		fmt.Printf("%s key=%s cached=%v wall=%.1fms\n", spec.Key(), rec.Key, rec.Cached, rec.WallMS)
 		fmt.Printf("  cycles=%d retired=%d packets=%d energy=%.0f\n",
 			r.Cycles, r.Retired, r.TotalPkts, r.Energy.Total())
+		if analyze {
+			rep, err := c.Analysis(ctx, rec.Key)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			report.FindingsText(os.Stdout, rep)
+		}
 	}
 }
 

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/system"
+)
+
+// Sweep thresholds (package constants, same policy as the per-run rules).
+const (
+	// sweepDominantPct: an axis whose mean cycles vary at least this much
+	// across its values is the sweep's dominant knob.
+	sweepDominantPct = 10.0
+	// sweepFlatPct: below this spread the axis measurably does nothing.
+	sweepFlatPct = 2.0
+	// kneeEDPSlack: the knee is the cheapest axis value whose energy-delay
+	// product is within this factor of the sweep's best.
+	kneeEDPSlack = 1.05
+	// kneeHitSlack: ditto for filter hit ratio, within this factor of the
+	// best observed ratio.
+	kneeHitSlack = 0.99
+)
+
+// Point aggregates the runs that shared one value of a swept axis.
+type Point struct {
+	Value int `json:"value"`
+	Runs  int `json:"runs"`
+
+	MeanCycles   float64 `json:"mean_cycles"`
+	MeanEnergy   float64 `json:"mean_energy_pj"`
+	MeanEDP      float64 `json:"mean_edp"`
+	MeanHitRatio float64 `json:"mean_filter_hit_ratio"`
+}
+
+// AxisEffect attributes the marginal effect of one swept knob or workload
+// parameter: its per-value aggregates plus the headline spread.
+type AxisEffect struct {
+	// Name is the registry name ("filter_entries", "hot_pct").
+	Name string `json:"name"`
+	// Kind is "knob" (config.Knobs) or "param" (workload registry).
+	Kind string `json:"kind"`
+	// Points is sorted by axis value ascending.
+	Points []Point `json:"points"`
+
+	// SpreadPct is (worst - best mean cycles) / best, in percent: how much
+	// this axis moves execution time across its swept values.
+	SpreadPct float64 `json:"spread_pct"`
+	// BestValue is the axis value with the lowest mean cycles.
+	BestValue int `json:"best_value"`
+}
+
+// SweepReport is the cross-run product of analysis.Sweep.
+type SweepReport struct {
+	Runs     int          `json:"runs"`
+	Axes     []AxisEffect `json:"axes"`
+	Findings []Finding    `json:"findings"`
+}
+
+// SweepRuleIDs names the finding rules Sweep can emit; the registry-drift
+// test covers them alongside the per-run Rules.
+var SweepRuleIDs = []string{"sweep-dominant", "sweep-flat", "sweep-knee"}
+
+// axisKey identifies one swept dimension.
+type axisKey struct{ name, kind string }
+
+// axisValue resolves spec's value on one axis: the materialized config knob
+// (so defaults and derived adjustments are included) or the resolved
+// workload parameter.
+func axisValue(spec system.Spec, k axisKey) (int, bool) {
+	if k.kind == "param" {
+		return spec.ResolvedParam(k.name)
+	}
+	cfg := spec.Config()
+	for _, kn := range config.Knobs() {
+		if kn.Name == k.name {
+			return *kn.Field(&cfg), true
+		}
+	}
+	return 0, false
+}
+
+// Sweep attributes the marginal effect of every swept knob and workload
+// parameter across a sweep's completed runs. specs and results are parallel;
+// axes are discovered from the specs themselves (any knob or parameter that
+// takes at least two distinct values), so the caller does not have to
+// remember what it swept.
+func Sweep(specs []system.Spec, results []system.Results) SweepReport {
+	rep := SweepReport{Runs: len(specs), Findings: []Finding{}}
+	if len(specs) != len(results) || len(specs) == 0 {
+		return rep
+	}
+
+	// Discover axes in first-appearance order.
+	var keys []axisKey
+	seen := map[axisKey]bool{}
+	note := func(name, kind string) {
+		k := axisKey{name, kind}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, sp := range specs {
+		for _, kv := range sp.KnobDiff() {
+			note(kv.Name, "knob")
+		}
+		if pvs, ok := sp.ParamDiff(); ok {
+			for _, pv := range pvs {
+				note(pv.Name, "param")
+			}
+		}
+	}
+
+	for _, k := range keys {
+		ax := buildAxis(k, specs, results)
+		if len(ax.Points) < 2 {
+			continue // fixed on every run: an override, not an axis
+		}
+		rep.Axes = append(rep.Axes, ax)
+	}
+
+	// Findings: dominant axis first, then flat axes, then knees.
+	best := -1
+	for i, ax := range rep.Axes {
+		if best < 0 || ax.SpreadPct > rep.Axes[best].SpreadPct {
+			best = i
+		}
+	}
+	if best >= 0 && rep.Axes[best].SpreadPct >= sweepDominantPct {
+		ax := rep.Axes[best]
+		rep.Findings = append(rep.Findings, Finding{
+			Rule:     "sweep-dominant",
+			Severity: SevInfo,
+			Message: fmt.Sprintf("%s %s dominates this sweep: mean cycles vary %.1f%% across its values, best at %s=%d",
+				ax.Kind, ax.Name, ax.SpreadPct, ax.Name, ax.BestValue),
+			Evidence: []Evidence{ev("spread_pct", ax.SpreadPct), ev("best_value", float64(ax.BestValue))},
+		})
+	}
+	for _, ax := range rep.Axes {
+		if ax.SpreadPct < sweepFlatPct {
+			rep.Findings = append(rep.Findings, Finding{
+				Rule:     "sweep-flat",
+				Severity: SevInfo,
+				Message: fmt.Sprintf("%s %s has no measurable effect here (%.2f%% cycle spread): drop the axis or widen its range",
+					ax.Kind, ax.Name, ax.SpreadPct),
+				Evidence: []Evidence{ev("spread_pct", ax.SpreadPct)},
+			})
+		}
+	}
+	for _, ax := range rep.Axes {
+		if f := kneeFinding(ax); f != nil {
+			rep.Findings = append(rep.Findings, *f)
+		}
+	}
+	return rep
+}
+
+// buildAxis groups the runs by their value on axis k.
+func buildAxis(k axisKey, specs []system.Spec, results []system.Results) AxisEffect {
+	type agg struct {
+		n                         int
+		cycles, energy, edp, hits float64
+	}
+	byVal := map[int]*agg{}
+	for i, sp := range specs {
+		v, ok := axisValue(sp, k)
+		if !ok {
+			continue
+		}
+		a := byVal[v]
+		if a == nil {
+			a = &agg{}
+			byVal[v] = a
+		}
+		r := results[i]
+		a.n++
+		a.cycles += float64(r.Cycles)
+		a.energy += r.Energy.Total()
+		a.edp += r.Energy.Total() * float64(r.Cycles)
+		a.hits += r.FilterHitRatio
+	}
+	vals := make([]int, 0, len(byVal))
+	for v := range byVal {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+
+	ax := AxisEffect{Name: k.name, Kind: k.kind}
+	minCycles, maxCycles := 0.0, 0.0
+	for _, v := range vals {
+		a := byVal[v]
+		n := float64(a.n)
+		p := Point{
+			Value: v, Runs: a.n,
+			MeanCycles: a.cycles / n, MeanEnergy: a.energy / n,
+			MeanEDP: a.edp / n, MeanHitRatio: a.hits / n,
+		}
+		ax.Points = append(ax.Points, p)
+		if minCycles == 0 || p.MeanCycles < minCycles {
+			minCycles, ax.BestValue = p.MeanCycles, v
+		}
+		if p.MeanCycles > maxCycles {
+			maxCycles = p.MeanCycles
+		}
+	}
+	if minCycles > 0 {
+		ax.SpreadPct = (maxCycles - minCycles) / minCycles * 100
+	}
+	return ax
+}
+
+// kneeFinding locates the diminishing-returns value of one axis: the
+// smallest value whose energy-delay product (or, when the axis moves the
+// filter, hit ratio) is already within slack of the sweep's best. A knee
+// below the largest swept value means the rest of the range buys nothing.
+func kneeFinding(ax AxisEffect) *Finding {
+	last := ax.Points[len(ax.Points)-1].Value
+
+	// Filter-style knee: the hit ratio moved with the axis and saturates
+	// before its largest value.
+	minHit, bestHit := 1.0, 0.0
+	for _, p := range ax.Points {
+		if p.MeanHitRatio > bestHit {
+			bestHit = p.MeanHitRatio
+		}
+		if p.MeanHitRatio < minHit {
+			minHit = p.MeanHitRatio
+		}
+	}
+	if bestHit-minHit >= 0.01 {
+		for _, p := range ax.Points {
+			if p.MeanHitRatio >= kneeHitSlack*bestHit {
+				if p.Value == last {
+					break
+				}
+				return &Finding{
+					Rule:     "sweep-knee",
+					Severity: SevInfo,
+					Message: fmt.Sprintf("%s %s knees at %d: hit ratio %.4f is within %.0f%% of the best observed (%.4f), larger values buy little",
+						ax.Kind, ax.Name, p.Value, p.MeanHitRatio, (1-kneeHitSlack)*100, bestHit),
+					Evidence: []Evidence{ev("knee_value", float64(p.Value)), ev("knee_hit_ratio", p.MeanHitRatio), ev("best_hit_ratio", bestHit)},
+				}
+			}
+		}
+	}
+
+	// Energy-delay knee: the EDP moved with the axis and flattens early.
+	minEDP, maxEDP := 0.0, 0.0
+	for _, p := range ax.Points {
+		if minEDP == 0 || p.MeanEDP < minEDP {
+			minEDP = p.MeanEDP
+		}
+		if p.MeanEDP > maxEDP {
+			maxEDP = p.MeanEDP
+		}
+	}
+	if minEDP == 0 || maxEDP < 1.10*minEDP {
+		return nil
+	}
+	for _, p := range ax.Points {
+		if p.MeanEDP <= kneeEDPSlack*minEDP {
+			if p.Value == last || p.MeanEDP == minEDP {
+				return nil
+			}
+			return &Finding{
+				Rule:     "sweep-knee",
+				Severity: SevInfo,
+				Message: fmt.Sprintf("%s %s knees at %d: energy-delay product is within %.0f%% of the sweep's best, larger values buy nothing",
+					ax.Kind, ax.Name, p.Value, (kneeEDPSlack-1)*100),
+				Evidence: []Evidence{ev("knee_value", float64(p.Value)), ev("knee_edp", p.MeanEDP), ev("best_edp", minEDP)},
+			}
+		}
+	}
+	return nil
+}

@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets mirrors client_golang's default histogram buckets: latencies
@@ -163,6 +165,24 @@ func (r *Registry) Info(name, help string, labels map[string]string) {
 	r.register(name, help, "gauge", func(w *strings.Builder, n string) {
 		fmt.Fprintf(w, "%s{%s} 1\n", n, body)
 	})
+}
+
+// RegisterProcess registers the standard process-level gauges under prefix
+// (e.g. "hybridsimd_"): uptime since start, live goroutines, and heap in
+// use — the minimum a fleet dashboard needs to tell a hung daemon from an
+// idle one. All three read live state at scrape time; ReadMemStats costs a
+// brief stop-the-world, which is fine at scrape frequency.
+func (r *Registry) RegisterProcess(prefix string, start time.Time) {
+	r.GaugeFunc(prefix+"process_uptime_seconds", "Seconds since the process started.",
+		func() int64 { return int64(time.Since(start).Seconds()) })
+	r.GaugeFunc(prefix+"process_goroutines", "Live goroutines.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	r.GaugeFunc(prefix+"process_heap_inuse_bytes", "Bytes in in-use heap spans.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.HeapInuse)
+		})
 }
 
 // Histogram registers and returns a histogram. nil buckets = DefBuckets.

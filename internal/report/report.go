@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/compiler"
 	"repro/internal/config"
 	"repro/internal/isa"
@@ -370,6 +371,60 @@ func JSONLines(w io.Writer, results []system.Results) error {
 		}
 	}
 	return nil
+}
+
+// FindingsText renders an analysis report as the advisor transcript: one
+// block per finding (severity, rule, message, evidence, suggested knob
+// change), then the rules skipped for lack of input.
+func FindingsText(w io.Writer, rep analysis.Report) {
+	if len(rep.Findings) == 0 {
+		fmt.Fprintln(w, "analysis: no findings")
+	} else {
+		fmt.Fprintf(w, "analysis: %d finding(s)\n", len(rep.Findings))
+	}
+	for _, f := range rep.Findings {
+		fmt.Fprintf(w, "  [%s] %s: %s\n", strings.ToUpper(string(f.Severity)), f.Rule, f.Message)
+		for _, e := range f.Evidence {
+			fmt.Fprintf(w, "      evidence: %s = %.4g\n", e.Name, e.Value)
+		}
+		if s := f.Suggestion; s != nil {
+			fmt.Fprintf(w, "      try: %s %d -> %d", s.Knob, s.Current, s.Proposed)
+			if s.Note != "" {
+				fmt.Fprintf(w, " (%s)", s.Note)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(rep.Skipped) > 0 {
+		fmt.Fprintf(w, "  skipped (missing input): %s\n", strings.Join(rep.Skipped, ", "))
+	}
+}
+
+// FindingsJSON renders the report as indented JSON — the same shape
+// GET /v1/runs/{key}/analysis serves.
+func FindingsJSON(w io.Writer, rep analysis.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// SweepFindingsText renders a cross-run sweep analysis: every discovered
+// axis with its per-value aggregates, then the sweep-level findings.
+func SweepFindingsText(w io.Writer, rep analysis.SweepReport) {
+	fmt.Fprintf(w, "sweep analysis: %d runs, %d axes\n", rep.Runs, len(rep.Axes))
+	for _, ax := range rep.Axes {
+		fmt.Fprintf(w, "  %s %s (spread %.1f%%, best at %d):\n", ax.Kind, ax.Name, ax.SpreadPct, ax.BestValue)
+		for _, p := range ax.Points {
+			fmt.Fprintf(w, "    %-8d %d run(s)  cycles %.0f  energy %.4g pJ  filter hit %.4f\n",
+				p.Value, p.Runs, p.MeanCycles, p.MeanEnergy, p.MeanHitRatio)
+		}
+	}
+	if len(rep.Findings) == 0 {
+		fmt.Fprintln(w, "  no findings")
+	}
+	for _, f := range rep.Findings {
+		fmt.Fprintf(w, "  [%s] %s: %s\n", strings.ToUpper(string(f.Severity)), f.Rule, f.Message)
+	}
 }
 
 // TimelineCSV renders a sampled run's counter time series as CSV: one row

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/system"
 	"repro/internal/telemetry"
 )
@@ -202,6 +203,9 @@ func (c *Client) Sweep(ctx context.Context, m Matrix, timeout time.Duration, eac
 	for _, ax := range m.WSweep {
 		q.Add("wsweep", axisParam(ax.Name, ax.Values))
 	}
+	if m.Analyze {
+		q.Set("analyze", "1")
+	}
 	if timeout > 0 {
 		q.Set("timeout", timeout.String())
 	}
@@ -261,6 +265,14 @@ func axisParam(name string, values []int) string {
 		vals[i] = strconv.Itoa(v)
 	}
 	return name + "=" + strings.Join(vals, ",")
+}
+
+// Analysis fetches the rule-driven bottleneck findings of a completed run
+// by key.
+func (c *Client) Analysis(ctx context.Context, key string) (analysis.Report, error) {
+	var rep analysis.Report
+	err := c.getJSON(ctx, "/v1/runs/"+key+"/analysis", nil, &rep)
+	return rep, err
 }
 
 // Timeline fetches the sampled counter time series of a telemetry-bearing

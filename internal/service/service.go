@@ -21,6 +21,11 @@
 //	GET  /v1/runs/{key}/timeline
 //	                         the sampled counter time series of a run that
 //	                         was submitted with a "telemetry" block
+//	GET  /v1/runs/{key}/analysis
+//	                         rule-driven bottleneck findings for a completed
+//	                         run (internal/analysis), derived on demand from
+//	                         its results, resolved config, and — when the
+//	                         run was observed — its stored timeline
 //	GET  /v1/healthz         liveness plus queue depth and build version
 //	GET  /v1/stats           cache hit rate, queue, and run counters
 //	GET  /metrics            Prometheus text exposition (internal/metrics)
@@ -48,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/buildinfo"
 	"repro/internal/config"
 	"repro/internal/metrics"
@@ -73,6 +79,11 @@ type Options struct {
 	// DefaultCacheEntries specs.
 	Cache *rescache.Cache
 
+	// TimelineCap bounds the retained run timelines; past it the oldest is
+	// dropped (re-submit with telemetry to regenerate). Values < 1 mean
+	// DefaultTimelineCap.
+	TimelineCap int
+
 	// Log receives structured request and run logs; nil discards them
 	// (tests, embedded use).
 	Log *slog.Logger
@@ -82,6 +93,7 @@ type Options struct {
 const (
 	DefaultQueueDepth   = 256
 	DefaultCacheEntries = 512
+	DefaultTimelineCap  = 128
 )
 
 // MaxRequestBody bounds a submission body; a Spec list large enough to hit
@@ -111,34 +123,33 @@ type Server struct {
 	failed    atomic.Uint64
 	rejected  atomic.Uint64
 
-	log *slog.Logger
+	log   *slog.Logger
+	start time.Time
 
 	// Operational metrics (GET /metrics).
-	reg         *metrics.Registry
-	runSeconds  *metrics.HistogramVec // run wall time by outcome
-	httpReqs    *metrics.CounterVec   // requests by route pattern and code
-	sweepsTotal *metrics.Counter
-	sweepRuns   *metrics.Counter
-	sweepActive *metrics.Gauge
+	reg           *metrics.Registry
+	runSeconds    *metrics.HistogramVec // run wall time by outcome
+	httpReqs      *metrics.CounterVec   // requests by route pattern and code
+	sweepsTotal   *metrics.Counter
+	sweepRuns     *metrics.Counter
+	sweepActive   *metrics.Gauge
+	findingsTotal *metrics.CounterVec // analysis findings by rule and severity
 
 	// Timelines of telemetry-bearing runs, keyed like the cache but stored
 	// separately: a timeline describes one observed execution, not the
 	// result identity, so it must not affect Spec.Hash addressing.
-	tmu       sync.Mutex
-	timelines map[string]*telemetry.TimeSeries
-	torder    []string
+	tmu         sync.Mutex
+	timelines   map[string]*telemetry.TimeSeries
+	torder      []string
+	timelineCap int
 }
-
-// timelineCap bounds the retained timelines; past it the oldest is dropped
-// (re-submit with telemetry to regenerate).
-const timelineCap = 128
 
 func (s *Server) storeTimeline(key string, ts telemetry.TimeSeries) {
 	s.tmu.Lock()
 	defer s.tmu.Unlock()
 	if _, ok := s.timelines[key]; !ok {
 		s.torder = append(s.torder, key)
-		if len(s.torder) > timelineCap {
+		if len(s.torder) > s.timelineCap {
 			delete(s.timelines, s.torder[0])
 			s.torder = s.torder[1:]
 		}
@@ -190,11 +201,22 @@ func (s *Server) initMetrics() {
 		func() int64 { return int64(s.cache.Stats().Entries) })
 	r.GaugeFunc("hybridsimd_cache_capacity", "Memory-tier bound.",
 		func() int64 { return int64(s.cache.Stats().Capacity) })
+	r.GaugeFunc("hybridsimd_timelines", "Run timelines currently retained.",
+		func() int64 {
+			s.tmu.Lock()
+			defer s.tmu.Unlock()
+			return int64(len(s.timelines))
+		})
+	r.GaugeFunc("hybridsimd_timelines_capacity", "Bound of the timeline store.",
+		func() int64 { return int64(s.timelineCap) })
 	s.sweepsTotal = r.Counter("hybridsimd_sweeps_total", "GET /v1/sweep requests started.")
 	s.sweepRuns = r.Counter("hybridsimd_sweep_runs_total", "Runs fanned out by sweep requests.")
 	s.sweepActive = r.Gauge("hybridsimd_sweeps_active", "Sweep streams currently open.")
+	s.findingsTotal = r.CounterVec("hybridsimd_analysis_findings_total",
+		"Analysis findings emitted, by rule and severity.", "rule", "severity")
 	s.httpReqs = r.CounterVec("hybridsimd_http_requests_total",
 		"API requests by route pattern and status code.", "path", "code")
+	r.RegisterProcess("hybridsimd_", s.start)
 }
 
 // New starts the worker pool and returns a ready Server.
@@ -211,20 +233,26 @@ func New(opt Options) *Server {
 	if cache == nil {
 		cache, _ = rescache.New(DefaultCacheEntries, "")
 	}
+	tcap := opt.TimelineCap
+	if tcap < 1 {
+		tcap = DefaultTimelineCap
+	}
 	log := opt.Log
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		workers:   workers,
-		cache:     cache,
-		queue:     make(chan *job, depth),
-		baseCtx:   ctx,
-		cancel:    cancel,
-		runs:      make(map[string]*job),
-		log:       log,
-		timelines: make(map[string]*telemetry.TimeSeries),
+		workers:     workers,
+		cache:       cache,
+		queue:       make(chan *job, depth),
+		baseCtx:     ctx,
+		cancel:      cancel,
+		runs:        make(map[string]*job),
+		log:         log,
+		start:       time.Now(),
+		timelines:   make(map[string]*telemetry.TimeSeries),
+		timelineCap: tcap,
 	}
 	s.initMetrics()
 	for i := 0; i < workers; i++ {
@@ -478,6 +506,11 @@ type Matrix struct {
 	// WSweep adds workload-parameter axes, nested inside the knob axes —
 	// each a parameter declared by every swept workload's registry entry.
 	WSweep []runner.ParamAxis `json:"wsweep,omitempty"`
+
+	// Analyze asks a sweep to close its stream with a cross-run analysis
+	// (axis attribution, knee detection) in the summary line. Pure
+	// observation: run identity and per-run records are unchanged.
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // Specs expands the enumeration, validating every name before anything is
@@ -564,12 +597,14 @@ type SubmitResponse struct {
 	Runs []RunRecord `json:"runs"`
 }
 
-// SweepSummary is the trailing line of a /v1/sweep stream.
+// SweepSummary is the trailing line of a /v1/sweep stream. Analysis is
+// present only when the sweep was requested with ?analyze=1.
 type SweepSummary struct {
-	Runs   int            `json:"runs"`
-	Failed int            `json:"failed"`
-	WallMS float64        `json:"wall_ms"`
-	Cache  rescache.Stats `json:"cache"`
+	Runs     int                   `json:"runs"`
+	Failed   int                   `json:"failed"`
+	WallMS   float64               `json:"wall_ms"`
+	Cache    rescache.Stats        `json:"cache"`
+	Analysis *analysis.SweepReport `json:"analysis,omitempty"`
 }
 
 // StatsResponse answers GET /v1/stats.
@@ -594,6 +629,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{key}", s.handleGetRun)
 	mux.HandleFunc("GET /v1/runs/{key}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /v1/runs/{key}/analysis", s.handleAnalysis)
 	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -629,6 +665,8 @@ func routeLabel(r *http.Request) string {
 		return "/v1/runs"
 	case strings.HasPrefix(p, "/v1/runs/") && strings.HasSuffix(p, "/timeline"):
 		return "/v1/runs/{key}/timeline"
+	case strings.HasPrefix(p, "/v1/runs/") && strings.HasSuffix(p, "/analysis"):
+		return "/v1/runs/{key}/analysis"
 	case strings.HasPrefix(p, "/v1/runs/"):
 		return "/v1/runs/{key}"
 	case p == "/v1/sweep", p == "/v1/healthz", p == "/v1/stats", p == "/metrics":
@@ -652,6 +690,55 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				"code", sw.code, "dur_ms", time.Since(t0).Milliseconds())
 		}
 	})
+}
+
+// handleAnalysis runs the advisor rules over one completed run. Analysis is
+// always derived on demand — findings are a view over results, resolved
+// config, and (when present) the stored timeline, never part of run identity
+// or cache state. Rules that need a counter snapshot are reported as skipped
+// here: the daemon keeps results, not raw counters (use hybridsim -analyze
+// for the full set).
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var spec system.Spec
+	var res system.Results
+	found := false
+	s.mu.Lock()
+	j, ok := s.runs[key]
+	s.mu.Unlock()
+	if ok {
+		j.mu.Lock()
+		if j.status == statusDone {
+			spec, res, found = j.spec, j.res, true
+		}
+		status := j.status
+		j.mu.Unlock()
+		if !found {
+			writeError(w, http.StatusConflict, fmt.Errorf(
+				"run %q is %s; analysis needs a completed run", key, status))
+			return
+		}
+	} else if e, ok := s.cache.EntryKey(key); ok {
+		spec, res, found = e.Spec, e.Res, true
+	}
+	if !found {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", key))
+		return
+	}
+	in := analysis.Input{Config: spec.Config(), Results: res}
+	if ts, ok := s.timeline(key); ok {
+		in.Series = ts
+	}
+	rep := analysis.Analyze(in)
+	s.countFindings(rep.Findings)
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// countFindings feeds the per-rule findings counter.
+func (s *Server) countFindings(fs []analysis.Finding) {
+	for _, f := range fs {
+		s.findingsTotal.With(f.Rule, string(f.Severity)).Inc()
+	}
 }
 
 // handleTimeline serves the sampled counter time series of one
@@ -899,6 +986,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// ?analyze=1 appends a cross-run analysis to the summary line.
+	m.Analyze, _ = strconv.ParseBool(q.Get("analyze"))
 	specs, err := m.Specs()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -948,6 +1037,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	t0 := time.Now()
 	sum := SweepSummary{Runs: len(specs)}
+	var doneSpecs []system.Spec
+	var doneResults []system.Results
 	i := 0
 	for j := range jobs {
 		select {
@@ -963,6 +1054,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		rec.Total = len(specs)
 		if rec.Status != string(statusDone) {
 			sum.Failed++
+		} else if m.Analyze && rec.Results != nil {
+			doneSpecs = append(doneSpecs, rec.Spec)
+			doneResults = append(doneResults, *rec.Results)
 		}
 		if err := enc.Encode(rec); err != nil {
 			return
@@ -974,6 +1068,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	sum.WallMS = float64(time.Since(t0)) / float64(time.Millisecond)
 	sum.Cache = s.cache.Stats()
+	if m.Analyze {
+		rep := analysis.Sweep(doneSpecs, doneResults)
+		s.countFindings(rep.Findings)
+		sum.Analysis = &rep
+	}
 	enc.Encode(struct {
 		Summary SweepSummary `json:"summary"`
 	}{sum})

@@ -361,20 +361,39 @@ func (s Spec) ExecuteContext(ctx context.Context) (Results, error) {
 // deliberately not part of the Spec (and thus not part of the cache
 // identity): it describes how to watch a run, not which run to do.
 func (s Spec) ExecuteRecorded(ctx context.Context, rec *telemetry.Recorder) (Results, error) {
+	r, _, err := s.executeOn(ctx, rec, false)
+	return r, err
+}
+
+// ExecuteObserved is ExecuteRecorded plus a post-run counter snapshot
+// (Machine.CounterSnapshot) — the full-fidelity input the analysis rules
+// want. Like telemetry, the snapshot is pure observation: Results are
+// identical to Execute's, and nothing here touches Spec identity.
+func (s Spec) ExecuteObserved(ctx context.Context, rec *telemetry.Recorder) (Results, map[string]uint64, error) {
+	return s.executeOn(ctx, rec, true)
+}
+
+// executeOn is the shared run path: validate, build the workload and the
+// machine, optionally attach an observer, run, optionally snapshot counters.
+func (s Spec) executeOn(ctx context.Context, rec *telemetry.Recorder, snapshot bool) (Results, map[string]uint64, error) {
 	if err := s.Validate(); err != nil {
-		return Results{}, err
+		return Results{}, nil, err
 	}
 	p, _ := workloads.ParseParams(s.Params) // Validate just accepted it
 	bench, err := workloads.BuildSpec(s.Benchmark, p, s.Scale)
 	if err != nil {
-		return Results{}, err
+		return Results{}, nil, err
 	}
 	m, err := Build(s.Config(), bench, s.seed())
 	if err != nil {
-		return Results{}, err
+		return Results{}, nil, err
 	}
 	if rec != nil {
 		m.Attach(rec)
 	}
-	return m.RunContext(ctx, s.MaxEvents)
+	r, err := m.RunContext(ctx, s.MaxEvents)
+	if err != nil || !snapshot {
+		return r, nil, err
+	}
+	return r, m.CounterSnapshot(), nil
 }

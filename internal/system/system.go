@@ -102,6 +102,40 @@ func (m *Machine) Attach(rec *telemetry.Recorder) {
 	}
 }
 
+// CounterSnapshot returns every interned counter the machine exposes, keyed
+// with the same prefixed names the telemetry probes use ("coherence.l2.misses",
+// "protocol.filter.evictions", "dma.lines", "spm.accesses"), so the analysis
+// rules and the timeline series read one vocabulary. It is a read-only
+// post-run summary: call it after Run; it never perturbs simulated behavior.
+func (m *Machine) CounterSnapshot() map[string]uint64 {
+	out := make(map[string]uint64, 64)
+	hs := m.Hier.Stats()
+	for _, name := range hs.AllNames() {
+		out["coherence."+name] = hs.Get(name)
+	}
+	if m.Protocol != nil {
+		ps := m.Protocol.Stats()
+		for _, name := range ps.AllNames() {
+			out["protocol."+name] = ps.Get(name)
+		}
+	}
+	if len(m.DMACs) > 0 {
+		var t uint64
+		for _, d := range m.DMACs {
+			t += d.LineTransfers()
+		}
+		out["dma.lines"] = t
+	}
+	if len(m.SPMs) > 0 {
+		var t uint64
+		for _, s := range m.SPMs {
+			t += s.TotalAccesses()
+		}
+		out["spm.accesses"] = t
+	}
+	return out
+}
+
 // memControllerNodes spreads the memory controllers over two interior mesh
 // rows so each controller's router has full link fan-out and DMA bursts do
 // not concentrate on corner links.

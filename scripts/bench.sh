@@ -11,8 +11,10 @@
 # the trajectory also covers non-NAS patterns.
 #
 # After writing the artifact the script prints a delta report against the
-# most recent prior BENCH_*.json (ns/op and allocs/op ratios per benchmark),
-# so a perf regression is visible in the run that introduces it.
+# most recent prior BENCH_*.json (ns/op and allocs/op ratios per benchmark,
+# plus the filter hit ratio and total-energy exhibit metrics where a
+# benchmark reports them), so a perf — or fidelity — regression is visible
+# in the run that introduces it.
 #
 # Usage:
 #   scripts/bench.sh                 # quick pass (1 iteration per benchmark)
@@ -63,7 +65,7 @@ load = lambda p: {b["name"]: b for b in json.load(open(p))["benchmarks"]}
 prev, cur = load(prevPath), load(curPath)
 
 print(f"\ndelta vs {prevPath}:")
-print(f"  {'benchmark':<34} {'ns/op':>12} {'x':>7}   {'allocs/op':>11} {'x':>7}")
+print(f"  {'benchmark':<34} {'ns/op':>12} {'x':>7}   {'allocs/op':>11} {'x':>7}   {'filterHit%':>10} {'x':>7}   {'energy pJ':>12} {'x':>7}")
 for name, c in cur.items():
     p = prev.get(name)
     if p is None:
@@ -78,7 +80,12 @@ for name, c in cur.items():
         return b, f"{b / a:.2f}"
     ns, nsx = ratio("ns/op")
     al, alx = ratio("allocs/op")
-    print(f"  {name:<34} {ns:>12} {nsx:>7}   {al:>11} {alx:>7}")
+    # Exhibit fidelity metrics: only some benchmarks report them, the rest
+    # render as "-". A moved ratio here is a simulator-behavior change, not
+    # a performance one.
+    fh, fhx = ratio("filterHit(%)")
+    en, enx = ratio("energy(pJ)")
+    print(f"  {name:<34} {ns:>12} {nsx:>7}   {al:>11} {alx:>7}   {fh:>10} {fhx:>7}   {en:>12} {enx:>7}")
 for name in prev:
     if name not in cur:
         print(f"  {name:<34} (removed)")

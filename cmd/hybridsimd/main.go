@@ -6,6 +6,12 @@
 //
 //	hybridsimd -addr :8080 -workers 8 -cache-entries 512 -cache-dir ./results
 //
+// Fleet mode federates daemons into a consistent-hash cluster (every member
+// lists the same -peers set; placement needs no coordinator):
+//
+//	hybridsimd -addr :8080 -node-id a -peers a=http://hostA:8080,b=http://hostB:8080
+//	hybridsimd -addr :8080 -node-id b -peers a=http://hostA:8080,b=http://hostB:8080
+//
 // Client mode (-client URL) drives a running daemon, for CI smoke tests and
 // shell pipelines:
 //
@@ -29,10 +35,12 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/report"
 	"repro/internal/rescache"
@@ -51,11 +59,13 @@ func main() {
 	// Serve-mode flags.
 	addr := flag.String("addr", ":8080", "serve mode: HTTP listen address")
 	workers := flag.Int("workers", 0, "simulation workers (0 = one per host CPU)")
-	queue := flag.Int("queue", service.DefaultQueueDepth, "job queue depth; a full queue rejects submissions with 503")
+	queue := flag.Int("queue", service.DefaultQueueDepth, "job queue depth; a full queue sheds submissions with 429")
 	cacheEntries := flag.Int("cache-entries", service.DefaultCacheEntries, "in-memory result cache capacity (specs)")
 	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result tier (empty = memory only)")
 	timelineCap := flag.Int("timeline-cap", service.DefaultTimelineCap, "retained run timelines; past it the oldest is dropped")
 	pprofOn := flag.Bool("pprof", false, "serve mode: expose Go profiling handlers under /debug/pprof/ (opt-in)")
+	nodeID := flag.String("node-id", "", "fleet mode: this daemon's member ID (must appear in -peers)")
+	peers := flag.String("peers", "", "fleet mode: static membership, id=url,id=url,... (identical on every member)")
 
 	// Client-mode flags.
 	client := flag.String("client", "", "client mode: base URL of a running daemon")
@@ -71,6 +81,7 @@ func main() {
 	stats := flag.Bool("stats", false, "client mode: print daemon stats and exit")
 	analyze := flag.Bool("analyze", false, "client mode: fetch the run's bottleneck analysis (single run) or a cross-run sweep analysis (-sweep)")
 	timeout := flag.Duration("timeout", 0, "client mode: per-request deadline forwarded to the daemon (0 = none)")
+	retries := flag.Int("retries", 2, "client mode: automatic retries after a load-shed (429) or unavailable (503) answer")
 	var sets runner.MultiFlag
 	flag.Var(&sets, "set", "client mode: override one machine knob, name=value (repeatable; cores=N wins over -cores)")
 	listWorkloads := flag.Bool("workloads", false, "list the workload catalog (names, params, defaults) and exit")
@@ -100,10 +111,30 @@ func main() {
 		}
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		runClient(*client, *benchName, *workloadFlag, *sysName, *scaleName, *cores, sweep, wsweeps, *stats, *analyze, *timeout, sets, explicit)
+		runClient(*client, *benchName, *workloadFlag, *sysName, *scaleName, *cores, sweep, wsweeps, *stats, *analyze, *timeout, *retries, sets, explicit)
 		return
 	}
-	serve(*addr, *workers, *queue, *cacheEntries, *cacheDir, *timelineCap, *pprofOn)
+	serve(*addr, *workers, *queue, *cacheEntries, *cacheDir, *timelineCap, *pprofOn, *nodeID, *peers)
+}
+
+// parsePeers decodes the -peers membership list ("id=url,id=url,...").
+func parsePeers(s string) ([]cluster.Node, error) {
+	var nodes []cluster.Node
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		nodes = append(nodes, cluster.Node{ID: id, URL: strings.TrimRight(u, "/")})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return nodes, nil
 }
 
 // sweepFlag keeps the historical bare "-sweep" boolean (stream the full
@@ -130,15 +161,35 @@ func (f *sweepFlag) Set(s string) error {
 	return nil
 }
 
-// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully.
-func serve(addr string, workers, queue, cacheEntries int, cacheDir string, timelineCap int, pprofOn bool) {
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
+// in-flight HTTP requests (including forwarded peer work) first, then the
+// cluster's outstanding transfers, then the worker pool.
+func serve(addr string, workers, queue, cacheEntries int, cacheDir string, timelineCap int, pprofOn bool, nodeID, peers string) {
 	cache, err := rescache.New(cacheEntries, cacheDir)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cache.SetLogger(log)
+
+	var cl *cluster.Cluster
+	if peers != "" {
+		if nodeID == "" {
+			fatalf("-peers requires -node-id")
+		}
+		nodes, err := parsePeers(peers)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if cl, err = cluster.New(cluster.Options{Self: nodeID, Peers: nodes, Log: log}); err != nil {
+			fatalf("%v", err)
+		}
+	} else if nodeID != "" {
+		fatalf("-node-id requires -peers")
+	}
+
 	srv := service.New(service.Options{Workers: workers, QueueDepth: queue, Cache: cache,
-		TimelineCap: timelineCap, Log: log})
+		TimelineCap: timelineCap, Log: log, Cluster: cl})
 	defer srv.Close()
 
 	handler := srv.Handler()
@@ -157,7 +208,9 @@ func serve(addr string, workers, queue, cacheEntries int, cacheDir string, timel
 	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -168,17 +221,33 @@ func serve(addr string, workers, queue, cacheEntries int, cacheDir string, timel
 	if cacheDir != "" {
 		fmt.Fprintf(os.Stderr, " + disk tier %s", cacheDir)
 	}
+	if cl != nil {
+		fmt.Fprintf(os.Stderr, ", fleet member %s", nodeID)
+	}
 	fmt.Fprintln(os.Stderr, ")")
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatalf("%v", err)
+	}
+	// ListenAndServe returns the instant Shutdown begins, while in-flight
+	// handlers — including requests forwarded here by fleet peers — are
+	// still draining. Wait for Shutdown to finish before tearing anything
+	// down, so a drain-window request is answered, not cancelled mid-run;
+	// then stop the cluster's own outstanding transfers, and only then
+	// (via the deferred Close) the worker pool.
+	<-shutdownDone
+	if cl != nil {
+		cl.Close()
+		drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		cl.Drain(drainCtx)
+		cancel()
 	}
 	fmt.Fprintln(os.Stderr, "hybridsimd: shut down")
 }
 
 // runClient executes one client-mode action against a running daemon.
 // explicit records which flags the user actually passed (flag.Visit).
-func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores int, sweep sweepFlag, wsweeps []string, stats, analyze bool, timeout time.Duration, sets []string, explicit map[string]bool) {
-	c := &service.Client{Base: base}
+func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores int, sweep sweepFlag, wsweeps []string, stats, analyze bool, timeout time.Duration, retries int, sets []string, explicit map[string]bool) {
+	c := &service.Client{Base: base, Retries: retries}
 	ctx := context.Background()
 	if err := c.Healthz(ctx); err != nil {
 		fatalf("daemon not healthy: %v", err)

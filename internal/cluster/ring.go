@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over member IDs. Each member contributes
+// vnodes points (FNV-1a of "id#i"), so keys spread evenly and the loss of
+// one member moves only that member's arc to its ring successors instead of
+// reshuffling the whole key space. Placement is a pure function of the
+// member-ID set, so every daemon built from the same -peers flag computes
+// the same ring with no coordination.
+type ring struct {
+	points []point
+	ids    []string // distinct member IDs, sorted (for iteration bounds)
+}
+
+// point is one virtual node: a position on the 64-bit ring owned by id.
+type point struct {
+	h  uint64
+	id string
+}
+
+// hash64 is FNV-1a over s, pushed through a 64-bit avalanche finalizer —
+// stable across processes and Go versions, unlike the runtime map hash.
+// Raw FNV-1a is NOT usable here: over short, near-identical strings (vnode
+// labels "b#0".."b#63", spec hashes sharing a prefix) its outputs land in
+// narrow bands, so one member's points clump together and its arc swallows
+// most of the ring. The fmix64 finalizer (MurmurHash3's) flips every output
+// bit with ~1/2 probability per input bit, restoring a uniform spread.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// newRing builds the ring for the given member IDs.
+func newRing(ids []string, vnodes int) *ring {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	r := &ring{ids: sorted, points: make([]point, 0, len(sorted)*vnodes)}
+	for _, id := range sorted {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{h: hash64(id + "#" + strconv.Itoa(i)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		// Equal hashes (astronomically rare) tie-break by ID so every node
+		// still agrees on the ordering.
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// ranked returns every member ID in ring order starting at key's position —
+// the owner first, then the members that inherit the key as earlier ones
+// drop out. Liveness filtering is the caller's job: the ranking itself must
+// stay a pure function of membership so all nodes agree on it.
+func (r *ring) ranked(key string) []string {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	out := make([]string, 0, len(r.ids))
+	seen := make(map[string]bool, len(r.ids))
+	for i := 0; i < len(r.points) && len(out) < len(r.ids); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			out = append(out, p.id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRankedDeterministicAcrossInputOrder: placement must be a pure function
+// of the member-ID set — every daemon parses the same -peers list, possibly
+// in a different order, and must still agree on every key's owner.
+func TestRankedDeterministicAcrossInputOrder(t *testing.T) {
+	a := newRing([]string{"a", "b", "c"}, 64)
+	b := newRing([]string{"c", "a", "b"}, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ra, rb := a.ranked(key), b.ranked(key)
+		if len(ra) != 3 || len(rb) != 3 {
+			t.Fatalf("ranked(%q) lengths = %d, %d, want 3", key, len(ra), len(rb))
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("ranked(%q) diverged by input order: %v vs %v", key, ra, rb)
+			}
+		}
+	}
+}
+
+// TestRankedCoversAllMembersOnce: the ranking is a permutation of the
+// membership — every member appears exactly once.
+func TestRankedCoversAllMembersOnce(t *testing.T) {
+	r := newRing([]string{"a", "b", "c", "d"}, 32)
+	seen := map[string]int{}
+	for _, id := range r.ranked("some-key") {
+		seen[id]++
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if seen[id] != 1 {
+			t.Fatalf("member %q appears %d times in ranking, want 1 (%v)", id, seen[id], seen)
+		}
+	}
+}
+
+// TestMemberLossMovesOnlyItsKeys: consistent hashing's point — dropping one
+// member must not move any key between the survivors.
+func TestMemberLossMovesOnlyItsKeys(t *testing.T) {
+	full := newRing([]string{"a", "b", "c"}, 64)
+	without := newRing([]string{"a", "c"}, 64)
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.ranked(key)[0]
+		after := without.ranked(key)[0]
+		if before == "b" {
+			moved++
+			continue // b's keys must land somewhere else; any survivor is fine
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestDistributionRoughlyBalanced: vnodes exist so no member owns a wildly
+// outsized arc. The bound is loose — this guards against a broken hash, not
+// perfect balance.
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	r := newRing([]string{"a", "b", "c", "d"}, 64)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.ranked(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for id, n := range counts {
+		share := float64(n) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %q owns %.0f%% of keys, outside [10%%,45%%] (%v)", id, share*100, counts)
+		}
+	}
+}

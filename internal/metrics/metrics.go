@@ -95,6 +95,17 @@ type Registry struct {
 	mu       sync.Mutex
 	families []*metric
 	byName   map[string]*metric
+	subs     []*Registry
+}
+
+// Attach renders sub's families after this registry's own — the composition
+// hook for a subsystem (e.g. the cluster tier) that owns its instruments but
+// should appear on the same /metrics surface. Family names must not collide
+// across attached registries; the caller owns that invariant.
+func (r *Registry) Attach(sub *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subs = append(r.subs, sub)
 }
 
 // NewRegistry returns an empty registry.
@@ -262,6 +273,27 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return cv
 }
 
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ vec[*Gauge] }
+
+// With returns the child gauge for the label values (created on first use).
+func (gv *GaugeVec) With(values ...string) *Gauge { return gv.with(values...) }
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	gv := &GaugeVec{vec[*Gauge]{
+		labels: labels,
+		kids:   map[string]*labelled[*Gauge]{},
+		mk:     func() *Gauge { return &Gauge{} },
+	}}
+	r.register(name, help, "gauge", func(w *strings.Builder, n string) {
+		for _, kid := range gv.snapshot() {
+			fmt.Fprintf(w, "%s{%s} %d\n", n, kid.key, kid.inst.Value())
+		}
+	})
+	return gv
+}
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct {
 	vec[*Histogram]
@@ -318,12 +350,17 @@ func (r *Registry) Render() string {
 	r.mu.Lock()
 	fams := make([]*metric, len(r.families))
 	copy(fams, r.families)
+	subs := make([]*Registry, len(r.subs))
+	copy(subs, r.subs)
 	r.mu.Unlock()
 	var b strings.Builder
 	for _, m := range fams {
 		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
 		m.render(&b, m.name)
+	}
+	for _, sub := range subs {
+		b.WriteString(sub.Render())
 	}
 	return b.String()
 }

@@ -146,3 +146,42 @@ func TestDuplicateRegistrationPanics(t *testing.T) {
 	}()
 	r.Counter("dup_total", "y")
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("peer_state", "liveness", "peer")
+	gv.With("b").Set(2)
+	gv.With("c").Set(1)
+	gv.With("b").Dec()
+
+	out := r.Render()
+	if !strings.Contains(out, `peer_state{peer="b"} 1`) {
+		t.Errorf("missing labelled gauge:\n%s", out)
+	}
+	if !strings.Contains(out, `peer_state{peer="c"} 1`) {
+		t.Errorf("missing labelled gauge:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE peer_state gauge") {
+		t.Errorf("missing gauge TYPE line:\n%s", out)
+	}
+}
+
+func TestAttachRendersSubRegistries(t *testing.T) {
+	main, sub := NewRegistry(), NewRegistry()
+	main.Counter("main_total", "main family").Inc()
+	sub.Counter("sub_total", "attached family").Add(9)
+	main.Attach(sub)
+
+	out := main.Render()
+	if !strings.Contains(out, "main_total 1") || !strings.Contains(out, "sub_total 9") {
+		t.Errorf("attached families missing from render:\n%s", out)
+	}
+	if i, j := strings.Index(out, "main_total"), strings.Index(out, "sub_total"); i > j {
+		t.Errorf("sub-registry rendered before its host:\n%s", out)
+	}
+	// Attachment is a view, not a copy: later writes show up.
+	sub.Counter("sub_late_total", "registered after Attach").Inc()
+	if !strings.Contains(main.Render(), "sub_late_total 1") {
+		t.Error("families added after Attach are invisible")
+	}
+}

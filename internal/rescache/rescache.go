@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -40,12 +41,21 @@ type Stats struct {
 	Dedup     uint64 `json:"deduplicated"` // callers that joined an in-flight run
 	Misses    uint64 `json:"misses"`       // requests that executed
 	Evictions uint64 `json:"evictions"`
+
+	// DiskErrors counts disk-tier entries that were present but unusable —
+	// corrupt, truncated, or mis-addressed files skipped at lookup.
+	DiskErrors uint64 `json:"disk_errors"`
+
+	// PeerFills counts results adopted from fleet peers (cache fills and
+	// owner back-fills); they are neither local hits nor local misses.
+	PeerFills uint64 `json:"peer_fills"`
 }
 
 // Cache is safe for concurrent use.
 type Cache struct {
 	cap int
 	dir string // "" disables the disk tier
+	log *slog.Logger
 
 	mu      sync.Mutex
 	ll      *list.List               // MRU at front; values are *Entry
@@ -81,6 +91,17 @@ func New(capacity int, dir string) (*Cache, error) {
 		entries: make(map[string]*list.Element),
 		flights: make(map[string]*flight),
 	}, nil
+}
+
+// SetLogger routes disk-tier diagnostics (corrupt entries, write failures)
+// to l; nil keeps them silent. Call before the cache is shared.
+func (c *Cache) SetLogger(l *slog.Logger) { c.log = l }
+
+// logWarn emits one diagnostic if a logger is configured.
+func (c *Cache) logWarn(msg string, args ...any) {
+	if c.log != nil {
+		c.log.Warn(msg, args...)
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -193,7 +214,7 @@ func (c *Cache) GetOrRun(ctx context.Context, spec system.Spec, run func(context
 	if f.err == nil && c.dir != "" {
 		// Disk persistence is best-effort; a read-only disk must not fail
 		// the run that produced a perfectly good result.
-		_ = c.diskPut(key, Entry{Spec: spec, Res: f.res})
+		c.diskPutLogged(key, Entry{Spec: spec, Res: f.res})
 	}
 	return f.res, false, f.err
 }
@@ -210,8 +231,38 @@ func (c *Cache) Put(spec system.Spec, res system.Results) {
 	c.storeLocked(key, e)
 	c.mu.Unlock()
 	if c.dir != "" {
-		_ = c.diskPut(key, e) // best-effort, like GetOrRun
+		c.diskPutLogged(key, e) // best-effort, like GetOrRun
 	}
+}
+
+// FillPeer adopts a result computed elsewhere in the fleet — a peer cache
+// fill or an owner back-fill — into both tiers. Unlike Put it counts
+// neither a hit nor a miss (no local lookup or Execute happened) but a
+// PeerFill, so per-node hit rates stay honest in cluster mode.
+func (c *Cache) FillPeer(spec system.Spec, res system.Results) {
+	key := spec.Hash()
+	e := Entry{Spec: spec, Res: res}
+	c.mu.Lock()
+	c.stats.PeerFills++
+	c.storeLocked(key, e)
+	c.mu.Unlock()
+	if c.dir != "" {
+		c.diskPutLogged(key, e) // best-effort, like GetOrRun
+	}
+}
+
+// Contains reports whether key is resident in either tier without touching
+// the hit counters or promoting anything — the cheap routing probe cluster
+// mode uses to decide whether a network hop is worth anything.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	_, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok || c.dir == "" {
+		return ok
+	}
+	_, err := os.Stat(c.path(key))
+	return err == nil
 }
 
 // isContextErr reports whether err is (or wraps) a cancellation.
@@ -252,30 +303,53 @@ func (c *Cache) storeLocked(key string, e Entry) {
 	}
 }
 
+// diskPutLogged is diskPut for callers that treat persistence as
+// best-effort: the error is logged and dropped.
+func (c *Cache) diskPutLogged(key string, e Entry) {
+	if err := c.diskPut(key, e); err != nil {
+		c.logWarn("rescache: disk write failed", "key", key, "err", err)
+	}
+}
+
 // path maps a hash to its disk file.
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
 // diskGet loads and verifies one disk entry. Corrupt, foreign, or stale
-// files (the entry's Spec no longer hashes to its file name) read as
-// misses, never as errors — the run simply re-executes.
+// files (truncated JSON, a half-written entry, a Spec that no longer hashes
+// to its file name) are skipped — logged and counted in DiskErrors, never
+// surfaced as lookup failures — so one bad file costs a re-execute, not an
+// outage. A missing file is an ordinary miss.
 func (c *Cache) diskGet(key string) (Entry, bool) {
 	if c.dir == "" {
 		return Entry{}, false
 	}
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
+		if !os.IsNotExist(err) {
+			c.diskError(key, err)
+		}
 		return Entry{}, false
 	}
 	var e Entry
 	if err := json.Unmarshal(b, &e); err != nil {
+		c.diskError(key, fmt.Errorf("corrupt entry: %w", err))
 		return Entry{}, false
 	}
-	if e.Spec.Hash() != key {
+	if got := e.Spec.Hash(); got != key {
+		c.diskError(key, fmt.Errorf("entry hashes to %s, not its file name", got))
 		return Entry{}, false
 	}
 	return e, true
+}
+
+// diskError records one unusable disk entry.
+func (c *Cache) diskError(key string, err error) {
+	c.mu.Lock()
+	c.stats.DiskErrors++
+	c.mu.Unlock()
+	c.logWarn("rescache: skipping unusable disk entry", "key", key, "err", err)
 }
 
 // diskPut writes one entry atomically (temp file + rename), so a crashed or

@@ -26,6 +26,19 @@ type Client struct {
 
 	// HTTP overrides the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+
+	// Retries bounds automatic resubmission after a load shed (429) or
+	// transient unavailability (503); zero means fail on the first such
+	// answer. Each retry honors the server's Retry-After hint when present,
+	// else backs off exponentially from Backoff.
+	Retries int
+
+	// Backoff seeds the exponential retry delay; zero means 100ms.
+	Backoff time.Duration
+
+	// sleep overrides the retry delay (tests); nil means a context-aware
+	// real sleep.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 func (c *Client) http() *http.Client {
@@ -55,12 +68,63 @@ func apiError(resp *http.Response) error {
 	return fmt.Errorf("service: %s: %s", resp.Status, bytes.TrimSpace(body))
 }
 
-func (c *Client) getJSON(ctx context.Context, path string, q url.Values, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path, q), nil)
-	if err != nil {
-		return err
+// doRetry issues mk()'s request, retrying shed (429) and unavailable (503)
+// answers up to c.Retries times. mk builds a fresh request per attempt so
+// bodies replay. The delay is the server's Retry-After hint when present,
+// else exponential from Backoff; any other response (or a transport error)
+// returns immediately.
+func (c *Client) doRetry(ctx context.Context, mk func() (*http.Request, error)) (*http.Response, error) {
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
 	}
-	resp, err := c.http().Do(req)
+	for attempt := 0; ; attempt++ {
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= c.Retries {
+			return resp, nil
+		}
+		delay := backoff << attempt
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				delay = time.Duration(secs) * time.Second
+			}
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if err := c.pause(ctx, delay); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// pause waits d or until ctx expires, through the test hook when set.
+func (c *Client) pause(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, q url.Values, out any) error {
+	resp, err := c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url(path, q), nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -86,12 +150,14 @@ func (c *Client) Submit(ctx context.Context, req SubmitRequest, wait bool, timeo
 	if timeout > 0 {
 		q.Set("timeout", timeout.String())
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/runs", q), bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(hreq)
+	resp, err := c.doRetry(ctx, func() (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/runs", q), bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		return hreq, nil
+	})
 	if err != nil {
 		return nil, err
 	}

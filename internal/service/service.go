@@ -26,6 +26,9 @@
 //	                         run (internal/analysis), derived on demand from
 //	                         its results, resolved config, and — when the
 //	                         run was observed — its stored timeline
+//	GET  /v1/cache/{key}     one cache entry by key (fleet peer fills)
+//	PUT  /v1/cache/{key}     adopt a peer-computed entry (owner back-fill)
+//	GET  /v1/cluster         fleet membership, ring state, ?key= ownership
 //	GET  /v1/healthz         liveness plus queue depth and build version
 //	GET  /v1/stats           cache hit rate, queue, and run counters
 //	GET  /metrics            Prometheus text exposition (internal/metrics)
@@ -55,6 +58,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/metrics"
 	"repro/internal/rescache"
@@ -71,8 +75,8 @@ type Options struct {
 	Workers int
 
 	// QueueDepth bounds the job queue; values < 1 mean DefaultQueueDepth.
-	// A full queue rejects POST /v1/runs with 503 and backpressures
-	// streaming sweeps.
+	// A full queue sheds POST /v1/runs with 429 + Retry-After and
+	// backpressures streaming sweeps.
 	QueueDepth int
 
 	// Cache is the result store; nil means a fresh memory-only cache of
@@ -87,6 +91,13 @@ type Options struct {
 	// Log receives structured request and run logs; nil discards them
 	// (tests, embedded use).
 	Log *slog.Logger
+
+	// Cluster federates this daemon into a sweep fleet (internal/cluster):
+	// runs are owner-routed by Spec.Hash over the consistent-hash ring,
+	// non-owned specs try a peer cache fill before computing, locally
+	// computed non-owned results are offered back to their owners, and
+	// sweeps fan out across the fleet. nil means single-node operation.
+	Cluster *cluster.Cluster
 }
 
 // Defaults for Options zero values.
@@ -109,6 +120,7 @@ var ErrQueueFull = errors.New("service: job queue full")
 type Server struct {
 	workers int
 	cache   *rescache.Cache
+	cluster *cluster.Cluster // nil outside fleet mode
 	queue   chan *job
 
 	baseCtx context.Context
@@ -197,6 +209,12 @@ func (s *Server) initMetrics() {
 		func() uint64 { return s.cache.Stats().Misses })
 	r.CounterFunc("hybridsimd_cache_evictions_total", "Memory-tier LRU evictions.",
 		func() uint64 { return s.cache.Stats().Evictions })
+	r.CounterFunc("hybridsimd_cache_disk_errors_total",
+		"Corrupt or unreadable disk-tier entries skipped at lookup.",
+		func() uint64 { return s.cache.Stats().DiskErrors })
+	r.CounterFunc("hybridsimd_cache_peer_fills_total",
+		"Results adopted from fleet peers (cache fills and owner back-fills).",
+		func() uint64 { return s.cache.Stats().PeerFills })
 	r.GaugeFunc("hybridsimd_cache_entries", "Memory-tier population.",
 		func() int64 { return int64(s.cache.Stats().Entries) })
 	r.GaugeFunc("hybridsimd_cache_capacity", "Memory-tier bound.",
@@ -217,6 +235,9 @@ func (s *Server) initMetrics() {
 	s.httpReqs = r.CounterVec("hybridsimd_http_requests_total",
 		"API requests by route pattern and status code.", "path", "code")
 	r.RegisterProcess("hybridsimd_", s.start)
+	if s.cluster != nil {
+		r.Attach(s.cluster.Metrics())
+	}
 }
 
 // New starts the worker pool and returns a ready Server.
@@ -245,6 +266,7 @@ func New(opt Options) *Server {
 	s := &Server{
 		workers:     workers,
 		cache:       cache,
+		cluster:     opt.Cluster,
 		queue:       make(chan *job, depth),
 		baseCtx:     ctx,
 		cancel:      cancel,
@@ -295,7 +317,11 @@ func (s *Server) worker() {
 	}
 }
 
-// execute runs one job through the cache and publishes its outcome.
+// execute runs one job through the cache and publishes its outcome. In
+// fleet mode a spec this node does not own first tries a peer cache fill
+// (the owner computed or collected it already), and a result this node had
+// to compute anyway — owner down, fill missed — is offered back to the
+// owner so the fleet converges on one copy per shard.
 func (s *Server) execute(j *job) {
 	// A job whose submitter vanished (sweep disconnect, deadline) is
 	// dropped here instead of burning a worker on a dead request.
@@ -309,14 +335,57 @@ func (s *Server) execute(j *job) {
 		return
 	}
 	t0 := time.Now()
+	remoteOwned := false
+	if s.cluster != nil && !s.cache.Contains(j.key) {
+		if _, local := s.cluster.Owner(j.key); !local {
+			remoteOwned = true
+			if e, ok := s.peerFill(j.ctx, j.key); ok {
+				s.cache.FillPeer(e.Spec, e.Res)
+				j.finish(e.Res, true, 0, nil)
+				s.finishMetrics(j, "filled", time.Since(t0), nil)
+				return
+			}
+		}
+	}
 	var wall time.Duration
+	computed := false
 	res, hit, err := s.cache.GetOrRun(j.ctx, j.spec, func(ctx context.Context) (system.Results, error) {
+		computed = true
 		r := runner.RunOne(ctx, j.spec)
 		wall = r.Wall
 		return r.Res, r.Err
 	})
+	if err == nil && computed && remoteOwned {
+		s.offerToOwner(j.spec, res)
+	}
 	j.finish(res, hit, wall, err)
 	s.finishMetrics(j, outcomeOf(hit, err), time.Since(t0), err)
+}
+
+// peerFill asks the fleet for key's cached entry and verifies the answer
+// really is the entry it claims to be (a confused peer must not poison the
+// local cache).
+func (s *Server) peerFill(ctx context.Context, key string) (rescache.Entry, bool) {
+	body, ok := s.cluster.Fill(ctx, key)
+	if !ok {
+		return rescache.Entry{}, false
+	}
+	var e rescache.Entry
+	if err := json.Unmarshal(body, &e); err != nil || e.Spec.Hash() != key {
+		s.log.Warn("cluster: discarding invalid peer fill", "key", key)
+		return rescache.Entry{}, false
+	}
+	return e, true
+}
+
+// offerToOwner pushes a locally computed result for a non-owned key back to
+// its owner, asynchronously and best-effort.
+func (s *Server) offerToOwner(spec system.Spec, res system.Results) {
+	body, err := json.Marshal(rescache.Entry{Spec: spec, Res: res})
+	if err != nil {
+		return
+	}
+	s.cluster.Offer(spec.Hash(), body)
 }
 
 // executeRecorded runs a telemetry-bearing job directly (outside GetOrRun, so
@@ -631,6 +700,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{key}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /v1/runs/{key}/analysis", s.handleAnalysis)
 	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -669,7 +741,9 @@ func routeLabel(r *http.Request) string {
 		return "/v1/runs/{key}/analysis"
 	case strings.HasPrefix(p, "/v1/runs/"):
 		return "/v1/runs/{key}"
-	case p == "/v1/sweep", p == "/v1/healthz", p == "/v1/stats", p == "/metrics":
+	case strings.HasPrefix(p, "/v1/cache/"):
+		return "/v1/cache/{key}"
+	case p == "/v1/sweep", p == "/v1/cluster", p == "/v1/healthz", p == "/v1/stats", p == "/metrics":
 		return p
 	default:
 		return "other"
@@ -786,6 +860,12 @@ func queryTimeout(r *http.Request) (time.Duration, error) {
 // timeline already exists too — otherwise the run is executed (once) to
 // produce it.
 func (s *Server) submit(spec system.Spec, timeout time.Duration, tel *TelemetryOptions) (*job, error) {
+	// A closing server has no workers left; accepting the job would strand
+	// a ?wait=true caller (or a fleet peer's forwarded request) forever.
+	if err := s.baseCtx.Err(); err != nil {
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("service: shutting down: %w", err)
+	}
 	wantTimeline := tel != nil && tel.Interval > 0
 	if res, ok := s.cache.Get(spec); ok {
 		if !wantTimeline {
@@ -874,12 +954,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.maybeForwardSubmit(w, r, specs, req) {
+		return
+	}
 	jobs := make([]*job, 0, len(specs))
 	for _, sp := range specs {
 		j, err := s.submit(sp, timeout, req.Telemetry)
 		if err != nil {
+			// Load shed: the queue is a transient condition, so answer 429
+			// with a retry hint rather than 503 (clients and peers back off
+			// and resubmit; see cluster.Forward and Client retries).
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err)
+			writeError(w, http.StatusTooManyRequests, err)
 			return
 		}
 		jobs = append(jobs, j)
@@ -905,6 +991,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			case <-j.done:
 			case <-waitCtx.Done():
 				code = http.StatusAccepted
+			case <-s.baseCtx.Done():
+				// The server is closing under this handler; the async
+				// answer is all that is safely left to give.
+				code = http.StatusAccepted
 			}
 			if code == http.StatusAccepted {
 				break
@@ -916,6 +1006,73 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		resp.Runs[i] = j.record()
 	}
 	writeJSON(w, code, resp)
+}
+
+// maybeForwardSubmit owner-routes a single-Spec submission to the ring
+// member that owns its key, so the fleet's singleflight has one home per
+// Spec. Only plain single runs forward: multi-spec and matrix bodies stay
+// local (the per-job paths route individually), telemetry is a local
+// observation request, and a request already carrying ForwardedHeader is
+// terminal here — one hop, never a loop. The owner's reply (including a
+// 429 shed) is relayed verbatim; a transport failure degrades to local
+// compute by returning false.
+func (s *Server) maybeForwardSubmit(w http.ResponseWriter, r *http.Request, specs []system.Spec, req SubmitRequest) bool {
+	if s.cluster == nil || len(specs) != 1 || req.Spec == nil {
+		return false
+	}
+	if req.Telemetry != nil && req.Telemetry.Interval > 0 {
+		return false
+	}
+	if r.Header.Get(cluster.ForwardedHeader) != "" {
+		return false
+	}
+	key := specs[0].Hash()
+	if s.cache.Contains(key) {
+		return false // local answer is free; no point shipping the request
+	}
+	owner, local := s.cluster.Owner(key)
+	if local {
+		return false
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	path := r.URL.Path
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	status, resp, err := s.cluster.Forward(r.Context(), owner, http.MethodPost, path, body)
+	if err != nil {
+		s.log.Warn("cluster: forward failed, running locally", "peer", owner, "key", key, "err", err)
+		return false
+	}
+	if status == http.StatusOK {
+		// A waited run came back complete; adopt it so the next local
+		// request (and GET /v1/runs/{key}) is a cache hit here too.
+		s.adoptForwarded(resp, key)
+	}
+	if ra := "1"; status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(resp)
+	return true
+}
+
+// adoptForwarded back-fills the local cache from a forwarded ?wait=true
+// submission's completed response.
+func (s *Server) adoptForwarded(resp []byte, key string) {
+	var sr SubmitResponse
+	if err := json.Unmarshal(resp, &sr); err != nil {
+		return
+	}
+	for _, rec := range sr.Runs {
+		if rec.Status == string(statusDone) && rec.Results != nil && rec.Spec.Hash() == key {
+			s.cache.FillPeer(rec.Spec, *rec.Results)
+		}
+	}
 }
 
 func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
@@ -932,6 +1089,19 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	if e, ok := s.cache.EntryKey(key); ok {
 		writeJSON(w, http.StatusOK, doneJob(e.Spec, e.Res).record())
 		return
+	}
+	// Fleet read-proxy: the run may live on (or have been submitted to)
+	// its ring owner. One hop only.
+	if s.cluster != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
+		if owner, local := s.cluster.Owner(key); !local {
+			status, resp, err := s.cluster.Forward(r.Context(), owner, http.MethodGet, r.URL.Path, nil)
+			if err == nil && status == http.StatusOK {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(status)
+				w.Write(resp)
+				return
+			}
+		}
 	}
 	writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", key))
 }
@@ -1014,7 +1184,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 
 	// Enqueue from a goroutine so a full queue backpressures the producer
-	// while the handler keeps streaming completed lines.
+	// while the handler keeps streaming completed lines. The jobs channel
+	// carries input order, so the stream is deterministic no matter where
+	// (or in what order) the runs complete — in fleet mode, specs owned by
+	// a live peer fan out to it concurrently while local ones queue here,
+	// and the merged output is identical to a single node's.
+	fanout := r.Header.Get(cluster.ForwardedHeader) == ""
 	jobs := make(chan *job, len(specs))
 	go func() {
 		defer close(jobs)
@@ -1024,14 +1199,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			j := newJob(ctx, nil, sp)
-			select {
-			case s.queue <- j:
-				s.submitted.Add(1)
-				jobs <- j
-			case <-ctx.Done():
-				j.finish(system.Results{}, false, 0, ctx.Err())
-				jobs <- j
+			if s.cluster != nil && fanout {
+				if owner, local := s.cluster.Owner(j.key); !local {
+					go s.runRemote(ctx, owner, j)
+					jobs <- j
+					continue
+				}
 			}
+			s.enqueueLocal(ctx, j)
+			jobs <- j
 		}
 	}()
 
@@ -1076,6 +1252,108 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(struct {
 		Summary SweepSummary `json:"summary"`
 	}{sum})
+}
+
+// enqueueLocal puts a sweep job on the local queue, backpressuring the
+// producer; a cancelled context fails the job instead of blocking forever.
+func (s *Server) enqueueLocal(ctx context.Context, j *job) {
+	select {
+	case s.queue <- j:
+		s.submitted.Add(1)
+	case <-ctx.Done():
+		j.finish(system.Results{}, false, 0, ctx.Err())
+	}
+}
+
+// runRemote executes one sweep job on its ring owner: a forwarded
+// ?wait=true submission, adopted into the local cache on success so
+// repeats are free here too. Any failure — owner down, shed after
+// retries, timeout, malformed reply — degrades to local compute, so a
+// sweep always completes with whatever nodes remain.
+func (s *Server) runRemote(ctx context.Context, owner string, j *job) {
+	t0 := time.Now()
+	body, err := json.Marshal(SubmitRequest{Spec: &j.spec})
+	if err != nil {
+		s.enqueueLocal(ctx, j)
+		return
+	}
+	status, resp, err := s.cluster.Forward(ctx, owner, http.MethodPost, "/v1/runs?wait=true", body)
+	if err == nil && status == http.StatusOK {
+		var sr SubmitResponse
+		if jerr := json.Unmarshal(resp, &sr); jerr == nil && len(sr.Runs) == 1 {
+			rec := sr.Runs[0]
+			if rec.Status == string(statusDone) && rec.Results != nil && rec.Spec.Hash() == j.key {
+				s.cache.FillPeer(rec.Spec, *rec.Results)
+				j.finish(*rec.Results, true, 0, nil)
+				s.finishMetrics(j, "forwarded", time.Since(t0), nil)
+				return
+			}
+		}
+	}
+	if err != nil {
+		s.log.Warn("cluster: remote run failed, degrading to local",
+			"peer", owner, "key", j.key, "err", err)
+	} else {
+		s.log.Warn("cluster: remote run unusable, degrading to local",
+			"peer", owner, "key", j.key, "status", status)
+	}
+	s.enqueueLocal(ctx, j)
+}
+
+// handleCacheGet serves one cache entry by key to fleet peers — the wire
+// half of cluster.Fill. 404 means a plain miss; the caller computes.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	e, ok := s.cache.EntryKey(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cache entry %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+// handleCachePut accepts an owner back-fill from a peer that computed one
+// of this node's keys (the wire half of cluster.Offer). The entry must
+// hash to the key it claims — a mismatch is a client bug, never stored.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody))
+	var e rescache.Entry
+	if err := dec.Decode(&e); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if e.Spec.Hash() != key {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"entry hashes to %q, not %q", e.Spec.Hash(), key))
+		return
+	}
+	if !s.cache.Contains(key) {
+		s.cache.FillPeer(e.Spec, e.Res)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCluster reports fleet membership and ring state; ?key= additionally
+// answers which member owns a key (debugging aid: every node must agree).
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, errors.New("not running in cluster mode"))
+		return
+	}
+	snap := s.cluster.Info()
+	resp := map[string]any{
+		"self":    snap.Self,
+		"vnodes":  snap.VNodes,
+		"members": snap.Members,
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		owner, local := s.cluster.Owner(key)
+		resp["key"] = key
+		resp["owner"] = owner
+		resp["owner_is_self"] = local
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

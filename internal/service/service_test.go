@@ -193,9 +193,9 @@ func TestBadSubmissionsRejected(t *testing.T) {
 	}
 }
 
-func TestQueueFullReturns503(t *testing.T) {
+func TestQueueFullSheds429(t *testing.T) {
 	// One worker, queue of one: the worker parks on a gated run while the
-	// queue holds one more, so a third distinct submission must bounce.
+	// queue holds one more, so a third distinct submission must shed.
 	cache, _ := rescache.New(8, "")
 	srv, client := newTestDaemon(t, Options{Workers: 1, QueueDepth: 1, Cache: cache})
 
@@ -213,15 +213,30 @@ func TestQueueFullReturns503(t *testing.T) {
 	}
 	over := tinySpec("IS", config.CacheBased)
 	_, err := client.Submit(context.Background(), SubmitRequest{Spec: &over}, false, 0)
-	if err == nil || !strings.Contains(err.Error(), "503") {
-		t.Fatalf("overflow submit err = %v, want 503", err)
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("overflow submit err = %v, want 429", err)
 	}
+
+	// The shed must carry a retry hint for backoff-aware clients and peers.
+	body, _ := json.Marshal(SubmitRequest{Spec: &over})
+	resp, err := http.Post(client.Base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("raw overflow status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 shed is missing the Retry-After hint")
+	}
+
 	st, err := client.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Rejected != 1 {
-		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	if st.Rejected != 2 {
+		t.Fatalf("Rejected = %d, want 2", st.Rejected)
 	}
 }
 

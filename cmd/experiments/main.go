@@ -29,6 +29,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/config"
 	"repro/internal/noc"
+	"repro/internal/planner"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/system"
@@ -115,6 +116,11 @@ func main() {
 	flag.Var(&sets, "set", "override one machine knob on every run, name=value (repeatable; cores=N wins over -cores)")
 	flag.Var(&sweeps, "sweep", "run ONLY a custom knob sweep over the workloads on the hybrid system, name=v1,v2,... (repeatable; prints a per-column CSV and honors -out csv/json)")
 	flag.Var(&wsweeps, "wsweep", "run ONLY a custom workload-parameter sweep, name=v1,v2,... (repeatable; combine with -workload)")
+	planFlag := flag.String("plan", "", "run ONLY an adaptive plan with this strategy (knee, pareto, halving) over the -sweep/-wsweep axes; with no axes or -objective, asks the Fig9 filter-knee question")
+	var objectives runner.MultiFlag
+	flag.Var(&objectives, "objective", "-plan: objective or constraint clause — metric | min:metric | max:metric | metric>=X | metric<=X | metric~slack (repeatable)")
+	budget := flag.Int("budget", 0, "-plan: max executed probes (0 = strategy default)")
+	pick := flag.String("pick", "", "-plan knee: smallest (default) or largest satisfying axis value")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -155,6 +161,16 @@ func main() {
 			// Reject before burning minutes of simulation on it.
 			fatalf("unknown format %q (want one of %v)", outFormat, report.Formats())
 		}
+	}
+	if *planFlag != "" {
+		if *only != "" {
+			fatalf("-plan runs its own exhibit and cannot combine with -only %q", *only)
+		}
+		if outFormat != "" && outFormat != "json" {
+			fatalf("-plan supports a json -out sink, not %q", outFormat)
+		}
+		runPlan(ctx, *planFlag, *workloadFlag, *cores, scale, overrides, sweeps, wsweeps, objectives, *budget, *pick, *outPath)
+		return
 	}
 	if len(sweeps) > 0 || len(wsweeps) > 0 {
 		if *only != "" && *only != "sweep" {
@@ -314,6 +330,82 @@ func sinkFormat(format, path string) string {
 		return "json"
 	}
 	return "csv"
+}
+
+// runPlan answers a question with an internal/planner strategy running
+// in-process (no daemon, no cache: every probe simulates). With no axes and
+// no goal it asks the Fig9 filter-size question — the smallest filter on IS
+// holding the hit ratio within the analyzer's knee slack of the best — over
+// a 16-value grid an exhaustive sweep would enumerate point by point.
+func runPlan(ctx context.Context, strategy, workload string, cores int, scale workloads.Scale,
+	base config.Overrides, sweeps, wsweeps, objectives []string, budget int, pick, outPath string) {
+	axes, err := runner.ParseKnobAxes(sweeps)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	waxes, err := runner.ParseParamAxes(wsweeps)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	objs, cons, err := planner.ParseObjectives(objectives)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bench := workload
+	if bench == "" {
+		bench = "IS" // the most filter-sensitive benchmark, like the ablation
+	}
+	if len(axes)+len(waxes) == 0 && len(objs) == 0 && cons == nil {
+		var vals []int
+		for v := 4; v <= 64; v += 4 {
+			vals = append(vals, v)
+		}
+		axes = []runner.KnobAxis{{Name: "filter_entries", Values: vals}}
+		cons = &planner.Constraint{Metric: "hit_ratio", SlackOfBest: analysis.KneeHitSlack}
+		fmt.Printf("plan: asking the Fig9 question — smallest filter_entries on %s holding hit ratio within %.0f%% of best\n",
+			bench, (1-analysis.KneeHitSlack)*100)
+	}
+	q := planner.Question{
+		Strategy: strategy,
+		Axes: runner.Axes{
+			Benchmarks: []string{bench},
+			Systems:    []config.MemorySystem{config.HybridReal},
+			Scale:      scale,
+			Cores:      cores,
+			Base:       base,
+			Knobs:      axes,
+			WParams:    waxes,
+		},
+		Constraint: cons,
+		Pick:       pick,
+		Budget:     budget,
+	}
+	if len(objs) == 1 {
+		q.Objective = objs[0]
+	} else {
+		q.Objectives = objs
+	}
+	var probes []planner.Probe
+	v, err := planner.Run(ctx, q, planner.LocalProber{}, func(p planner.Probe) error {
+		probes = append(probes, p)
+		fmt.Fprintf(os.Stderr, "probe %d: %s\n", p.Index, p.Key)
+		return nil
+	})
+	if err != nil {
+		fatalf("plan: %v", err)
+	}
+	report.PlanText(os.Stdout, probes, v)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("cannot write %s: %v", outPath, err)
+		}
+		defer f.Close()
+		if err := report.PlanJSON(f, probes, v); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	}
 }
 
 // runAblation sweeps the filter size on IS (the most filter-sensitive

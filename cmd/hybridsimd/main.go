@@ -23,6 +23,14 @@
 //	hybridsimd -client http://127.0.0.1:8080 -workload ptrchase -wsweep=hot_pct=0,50,100 -scale tiny -cores 4
 //	hybridsimd -client http://127.0.0.1:8080 -stats
 //	hybridsimd -workloads
+//
+// Plan mode (-plan, within client mode) asks a question instead of
+// enumerating a grid — an internal/planner strategy searches the -sweep
+// axes for the answer and every probe lands in the daemon's cache:
+//
+//	hybridsimd -client http://127.0.0.1:8080 -plan knee -bench IS -scale tiny -cores 4 \
+//	    -sweep=filter_entries=4,8,12,16,20,24,28,32,36,40,44,48,52,56,60,64 \
+//	    -objective 'hit_ratio~0.99'
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/planner"
 	"repro/internal/report"
 	"repro/internal/rescache"
 	"repro/internal/runner"
@@ -78,6 +87,11 @@ func main() {
 	flag.Var(&sweep, "sweep", "client mode: stream the workload x system matrix instead of one run; -sweep=knob=v1,v2,... also sweeps a machine knob (repeatable)")
 	var wsweeps runner.MultiFlag
 	flag.Var(&wsweeps, "wsweep", "client mode: sweep one workload parameter, name=v1,v2,... (repeatable; implies -sweep)")
+	plan := flag.String("plan", "", "client mode: answer a question instead of sweeping a grid — strategy name (knee, pareto, halving); axes come from -sweep/-wsweep, the goal from -objective")
+	var objectives runner.MultiFlag
+	flag.Var(&objectives, "objective", "client mode, -plan: objective or constraint clause — metric | min:metric | max:metric | metric>=X | metric<=X | metric~slack (repeatable)")
+	budget := flag.Int("budget", 0, "client mode, -plan: max executed probes (0 = strategy default)")
+	pick := flag.String("pick", "", "client mode, -plan knee: smallest (default) or largest satisfying axis value")
 	stats := flag.Bool("stats", false, "client mode: print daemon stats and exit")
 	analyze := flag.Bool("analyze", false, "client mode: fetch the run's bottleneck analysis (single run) or a cross-run sweep analysis (-sweep)")
 	timeout := flag.Duration("timeout", 0, "client mode: per-request deadline forwarded to the daemon (0 = none)")
@@ -111,7 +125,8 @@ func main() {
 		}
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		runClient(*client, *benchName, *workloadFlag, *sysName, *scaleName, *cores, sweep, wsweeps, *stats, *analyze, *timeout, *retries, sets, explicit)
+		runClient(*client, *benchName, *workloadFlag, *sysName, *scaleName, *cores, sweep, wsweeps,
+			*plan, objectives, *budget, *pick, *stats, *analyze, *timeout, *retries, sets, explicit)
 		return
 	}
 	serve(*addr, *workers, *queue, *cacheEntries, *cacheDir, *timelineCap, *pprofOn, *nodeID, *peers)
@@ -246,7 +261,8 @@ func serve(addr string, workers, queue, cacheEntries int, cacheDir string, timel
 
 // runClient executes one client-mode action against a running daemon.
 // explicit records which flags the user actually passed (flag.Visit).
-func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores int, sweep sweepFlag, wsweeps []string, stats, analyze bool, timeout time.Duration, retries int, sets []string, explicit map[string]bool) {
+func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores int, sweep sweepFlag, wsweeps []string,
+	plan string, objectives []string, budget int, pick string, stats, analyze bool, timeout time.Duration, retries int, sets []string, explicit map[string]bool) {
 	c := &service.Client{Base: base, Retries: retries}
 	ctx := context.Background()
 	if err := c.Healthz(ctx); err != nil {
@@ -283,6 +299,48 @@ func runClient(base, benchName, workloadFlag, sysName, scaleName string, cores i
 		fmt.Printf("queue: depth=%d/%d workers=%d\n", st.QueueDepth, st.QueueCap, st.Workers)
 		fmt.Printf("runs:  submitted=%d completed=%d failed=%d rejected=%d\n",
 			st.Submitted, st.Completed, st.Failed, st.Rejected)
+
+	case plan != "":
+		axes, err := runner.ParseKnobAxes(sweep.axes)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		waxes, err := runner.ParseParamAxes(wsweeps)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		objs, cons, err := planner.ParseObjectives(objectives)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req := service.PlanRequest{
+			Strategy:  plan,
+			Benchmark: workloads.FormatWorkload(bench, params),
+			System:    sysName,
+			Scale:     scaleName,
+			Cores:     cores,
+			Sweep:     axes, WSweep: waxes,
+			Constraint: cons,
+			Pick:       pick, Budget: budget,
+		}
+		// One objective clause is the halving form; several are pareto's.
+		if len(objs) == 1 {
+			req.Objective = &objs[0]
+		} else {
+			req.Objectives = objs
+		}
+		if !overrides.IsZero() {
+			req.Overrides = &overrides
+		}
+		var probes []planner.Probe
+		v, err := c.Plan(ctx, req, timeout, func(p planner.Probe) error {
+			probes = append(probes, p)
+			return nil
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report.PlanText(os.Stdout, probes, v)
 
 	case sweep.enabled:
 		axes, err := runner.ParseKnobAxes(sweep.axes)

@@ -1,0 +1,42 @@
+package analysis
+
+// Knee math shared between the sweep analyzer (kneeFinding) and the
+// experiment planner (internal/planner's knee-bisection strategy): one
+// spelling of "within slack of the best observed value", so the two can
+// never disagree about where an axis stops paying.
+
+// WithinSlack reports whether v already achieves the best observed value of
+// a metric to within a multiplicative slack factor. For a maximized metric
+// (hit ratio) slack is < 1 and v passes when v >= slack*best; for a
+// minimized one (EDP, cycles) slack is > 1 and v passes when v <= slack*best.
+func WithinSlack(v, best, slack float64, maximize bool) bool {
+	if maximize {
+		return v >= slack*best
+	}
+	return v <= slack*best
+}
+
+// KneeIndex locates the diminishing-returns point of a value series: the
+// index of the first element within slack of the series' best (the maximum
+// when maximize, the minimum otherwise), plus that best. An empty series
+// returns (-1, 0). The caller decides what the knee means — the sweep
+// analyzer reports it only when it lands before the largest swept value,
+// and the planner bisects toward the same boundary without enumerating.
+func KneeIndex(vals []float64, slack float64, maximize bool) (int, float64) {
+	if len(vals) == 0 {
+		return -1, 0
+	}
+	best := vals[0]
+	for _, v := range vals[1:] {
+		if (maximize && v > best) || (!maximize && v < best) {
+			best = v
+		}
+	}
+	for i, v := range vals {
+		if WithinSlack(v, best, slack, maximize) {
+			return i, best
+		}
+	}
+	// Unreachable: best itself is always within slack of best.
+	return -1, best
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import "testing"
+
+func TestWithinSlack(t *testing.T) {
+	cases := []struct {
+		name     string
+		v, best  float64
+		slack    float64
+		maximize bool
+		want     bool
+	}{
+		{"hit at best", 0.95, 0.95, KneeHitSlack, true, true},
+		{"hit within 1%", 0.941, 0.95, KneeHitSlack, true, true},
+		{"hit below slack", 0.93, 0.95, KneeHitSlack, true, false},
+		{"edp at best", 100, 100, KneeEDPSlack, false, true},
+		{"edp within 5%", 104.9, 100, KneeEDPSlack, false, true},
+		{"edp beyond 5%", 106, 100, KneeEDPSlack, false, false},
+		{"zero best maximize", 0, 0, KneeHitSlack, true, true},
+	}
+	for _, c := range cases {
+		if got := WithinSlack(c.v, c.best, c.slack, c.maximize); got != c.want {
+			t.Errorf("%s: WithinSlack(%v, %v, %v, %v) = %v, want %v",
+				c.name, c.v, c.best, c.slack, c.maximize, got, c.want)
+		}
+	}
+}
+
+func TestKneeIndex(t *testing.T) {
+	cases := []struct {
+		name     string
+		vals     []float64
+		slack    float64
+		maximize bool
+		wantIdx  int
+		wantBest float64
+	}{
+		{"empty", nil, KneeEDPSlack, false, -1, 0},
+		{"single", []float64{7}, KneeEDPSlack, false, 0, 7},
+		// Saturating hit ratio: first point within 1% of the best 0.99 is
+		// index 2 (0.985 >= 0.99*0.99 = 0.9801).
+		{"hit saturation", []float64{0.50, 0.90, 0.985, 0.99, 0.99}, KneeHitSlack, true, 2, 0.99},
+		// Monotone-decreasing EDP that flattens: min is the last element.
+		{"edp flattens", []float64{200, 120, 104, 101, 100}, KneeEDPSlack, false, 2, 100},
+		// Best is first: knee is index 0 immediately.
+		{"best first", []float64{1, 2, 3}, KneeEDPSlack, false, 0, 1},
+		// Non-monotone series: best in the middle still found.
+		{"valley", []float64{300, 100, 250}, KneeEDPSlack, false, 1, 100},
+	}
+	for _, c := range cases {
+		idx, best := KneeIndex(c.vals, c.slack, c.maximize)
+		if idx != c.wantIdx || best != c.wantBest {
+			t.Errorf("%s: KneeIndex(%v, %v, %v) = (%d, %v), want (%d, %v)",
+				c.name, c.vals, c.slack, c.maximize, idx, best, c.wantIdx, c.wantBest)
+		}
+	}
+}

@@ -15,12 +15,18 @@ const (
 	sweepDominantPct = 10.0
 	// sweepFlatPct: below this spread the axis measurably does nothing.
 	sweepFlatPct = 2.0
-	// kneeEDPSlack: the knee is the cheapest axis value whose energy-delay
+)
+
+// Knee slack policy, exported so the planner's knee-bisection strategy and
+// any driver presets share the analyzer's definition of "close enough to
+// the best" (see WithinSlack / KneeIndex in knee.go).
+const (
+	// KneeEDPSlack: the knee is the cheapest axis value whose energy-delay
 	// product is within this factor of the sweep's best.
-	kneeEDPSlack = 1.05
-	// kneeHitSlack: ditto for filter hit ratio, within this factor of the
+	KneeEDPSlack = 1.05
+	// KneeHitSlack: ditto for filter hit ratio, within this factor of the
 	// best observed ratio.
-	kneeHitSlack = 0.99
+	KneeHitSlack = 0.99
 )
 
 // Point aggregates the runs that shared one value of a swept axis.
@@ -215,63 +221,54 @@ func buildAxis(k axisKey, specs []system.Spec, results []system.Results) AxisEff
 // smallest value whose energy-delay product (or, when the axis moves the
 // filter, hit ratio) is already within slack of the sweep's best. A knee
 // below the largest swept value means the rest of the range buys nothing.
+// The slack math itself lives in knee.go, shared with the planner.
 func kneeFinding(ax AxisEffect) *Finding {
 	last := ax.Points[len(ax.Points)-1].Value
 
 	// Filter-style knee: the hit ratio moved with the axis and saturates
 	// before its largest value.
-	minHit, bestHit := 1.0, 0.0
-	for _, p := range ax.Points {
-		if p.MeanHitRatio > bestHit {
-			bestHit = p.MeanHitRatio
-		}
+	hits := make([]float64, len(ax.Points))
+	minHit := 1.0
+	for i, p := range ax.Points {
+		hits[i] = p.MeanHitRatio
 		if p.MeanHitRatio < minHit {
 			minHit = p.MeanHitRatio
 		}
 	}
-	if bestHit-minHit >= 0.01 {
-		for _, p := range ax.Points {
-			if p.MeanHitRatio >= kneeHitSlack*bestHit {
-				if p.Value == last {
-					break
-				}
-				return &Finding{
-					Rule:     "sweep-knee",
-					Severity: SevInfo,
-					Message: fmt.Sprintf("%s %s knees at %d: hit ratio %.4f is within %.0f%% of the best observed (%.4f), larger values buy little",
-						ax.Kind, ax.Name, p.Value, p.MeanHitRatio, (1-kneeHitSlack)*100, bestHit),
-					Evidence: []Evidence{ev("knee_value", float64(p.Value)), ev("knee_hit_ratio", p.MeanHitRatio), ev("best_hit_ratio", bestHit)},
-				}
+	if idx, bestHit := KneeIndex(hits, KneeHitSlack, true); bestHit-minHit >= 0.01 {
+		if p := ax.Points[idx]; p.Value != last {
+			return &Finding{
+				Rule:     "sweep-knee",
+				Severity: SevInfo,
+				Message: fmt.Sprintf("%s %s knees at %d: hit ratio %.4f is within %.0f%% of the best observed (%.4f), larger values buy little",
+					ax.Kind, ax.Name, p.Value, p.MeanHitRatio, (1-KneeHitSlack)*100, bestHit),
+				Evidence: []Evidence{ev("knee_value", float64(p.Value)), ev("knee_hit_ratio", p.MeanHitRatio), ev("best_hit_ratio", bestHit)},
 			}
 		}
 	}
 
 	// Energy-delay knee: the EDP moved with the axis and flattens early.
-	minEDP, maxEDP := 0.0, 0.0
-	for _, p := range ax.Points {
-		if minEDP == 0 || p.MeanEDP < minEDP {
-			minEDP = p.MeanEDP
-		}
+	edps := make([]float64, len(ax.Points))
+	maxEDP := 0.0
+	for i, p := range ax.Points {
+		edps[i] = p.MeanEDP
 		if p.MeanEDP > maxEDP {
 			maxEDP = p.MeanEDP
 		}
 	}
+	idx, minEDP := KneeIndex(edps, KneeEDPSlack, false)
 	if minEDP == 0 || maxEDP < 1.10*minEDP {
 		return nil
 	}
-	for _, p := range ax.Points {
-		if p.MeanEDP <= kneeEDPSlack*minEDP {
-			if p.Value == last || p.MeanEDP == minEDP {
-				return nil
-			}
-			return &Finding{
-				Rule:     "sweep-knee",
-				Severity: SevInfo,
-				Message: fmt.Sprintf("%s %s knees at %d: energy-delay product is within %.0f%% of the sweep's best, larger values buy nothing",
-					ax.Kind, ax.Name, p.Value, (kneeEDPSlack-1)*100),
-				Evidence: []Evidence{ev("knee_value", float64(p.Value)), ev("knee_edp", p.MeanEDP), ev("best_edp", minEDP)},
-			}
-		}
+	p := ax.Points[idx]
+	if p.Value == last || p.MeanEDP == minEDP {
+		return nil
 	}
-	return nil
+	return &Finding{
+		Rule:     "sweep-knee",
+		Severity: SevInfo,
+		Message: fmt.Sprintf("%s %s knees at %d: energy-delay product is within %.0f%% of the sweep's best, larger values buy nothing",
+			ax.Kind, ax.Name, p.Value, (KneeEDPSlack-1)*100),
+		Evidence: []Evidence{ev("knee_value", float64(p.Value)), ev("knee_edp", p.MeanEDP), ev("best_edp", minEDP)},
+	}
 }

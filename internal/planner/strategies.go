@@ -1,0 +1,525 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Strategy is one row of the planner's registry: a named search procedure
+// over a Question's grid. Strategies are data so drivers and the drift test
+// can enumerate them like knobs or analysis rules.
+type Strategy struct {
+	Name string
+	Desc string
+	// DefaultBudget caps executed probes when the Question leaves Budget 0.
+	DefaultBudget int
+	run           func(s *session, q Question) (Verdict, error)
+}
+
+// Strategies is the registry, in declaration order.
+var Strategies = []Strategy{
+	{
+		Name: "knee",
+		Desc: "bisect one axis for the smallest (or largest) value satisfying a metric constraint",
+		// A bisection over one axis needs at most 2 + ceil(log2(n-1))
+		// probes; 32 covers any axis the grid cap admits.
+		DefaultBudget: 32,
+		run:           runKnee,
+	},
+	{
+		Name:          "pareto",
+		Desc:          "refine a stride lattice over 2-3 axes toward the non-dominated frontier",
+		DefaultBudget: 64,
+		run:           runPareto,
+	},
+	{
+		Name:          "halving",
+		Desc:          "successive-halving of the axis cross-product toward one objective",
+		DefaultBudget: 32,
+		run:           runHalving,
+	},
+}
+
+// StrategyByName resolves a registry strategy.
+func StrategyByName(name string) (Strategy, bool) {
+	for _, st := range Strategies {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return Strategy{}, false
+}
+
+// StrategyNames returns the registered strategy names.
+func StrategyNames() []string {
+	names := make([]string, len(Strategies))
+	for i, st := range Strategies {
+		names[i] = st.Name
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------------
+// Knee bisection
+
+// runKnee finds the boundary value of a single axis against a monotone
+// predicate: the smallest (pick=smallest, the default) or largest
+// (pick=largest) axis value whose metric satisfies the constraint. The
+// predicate is assumed monotone along the axis — more filter entries never
+// lower the hit ratio — which is what makes log2 probes sufficient where a
+// sweep spends one per value.
+//
+// Probe order: the generous end first (for slack_of_best it defines "best",
+// the same reference the sweep analyzer's knee rule uses), then the frugal
+// end, then bisection of the bracket. Ties cannot arise: each step probes
+// one determined point.
+func runKnee(s *session, q Question) (Verdict, error) {
+	d := s.g.dims[0]
+	n := len(d.vals)
+	c := *q.Constraint
+	m, _ := MetricByName(c.Metric)
+
+	// Positions j=0..n-1 run frugal → generous: ascending axis values when
+	// picking the smallest, descending when picking the largest.
+	idx := func(j int) int {
+		if q.pick() == "largest" {
+			return n - 1 - j
+		}
+		return j
+	}
+	at := func(j int) []int { return []int{idx(j)} }
+
+	genVals, err := s.probe(at(n - 1))
+	if err != nil {
+		return kneeBestEffort(s, q, nil), err
+	}
+	best := genVals[c.Metric]
+	pred := func(vals map[string]float64) bool {
+		v := vals[c.Metric]
+		if c.SlackOfBest != 0 {
+			return analysis.WithinSlack(v, best, c.SlackOfBest, m.Maximize)
+		}
+		if c.Op == ">=" {
+			return v >= c.Value
+		}
+		return v <= c.Value
+	}
+	if !pred(genVals) {
+		return Verdict{
+			Converged: true,
+			Reason: fmt.Sprintf("no %s value satisfies the constraint: even %s=%d has %s=%g",
+				d.name, d.name, d.vals[idx(n-1)], c.Metric, genVals[c.Metric]),
+		}, nil
+	}
+	sat := n - 1 // generous end satisfies
+
+	frugVals, err := s.probe(at(0))
+	if err != nil {
+		return kneeBestEffort(s, q, at(sat)), err
+	}
+	if pred(frugVals) {
+		return Verdict{
+			Converged: true,
+			Reason:    kneeReason(q, d, d.vals[idx(0)], c),
+			Answer:    s.answer(at(0)),
+		}, nil
+	}
+	unsat := 0
+
+	for sat-unsat > 1 {
+		mid := (unsat + sat) / 2
+		vals, err := s.probe(at(mid))
+		if err != nil {
+			return kneeBestEffort(s, q, at(sat)), err
+		}
+		if pred(vals) {
+			sat = mid
+		} else {
+			unsat = mid
+		}
+	}
+	return Verdict{
+		Converged: true,
+		Reason:    kneeReason(q, d, d.vals[idx(sat)], c),
+		Answer:    s.answer(at(sat)),
+	}, nil
+}
+
+func kneeReason(q Question, d dim, value int, c Constraint) string {
+	want := fmt.Sprintf("%s %s %g", c.Metric, c.Op, c.Value)
+	if c.SlackOfBest != 0 {
+		want = fmt.Sprintf("%s within %g of best", c.Metric, c.SlackOfBest)
+	}
+	return fmt.Sprintf("%s %s=%d satisfying %s", q.pick(), d.name, value, want)
+}
+
+// kneeBestEffort shapes the verdict for an aborted bisection: the tightest
+// known-satisfying point if one exists (correct, possibly not minimal).
+func kneeBestEffort(s *session, q Question, sat []int) Verdict {
+	v := Verdict{Converged: false}
+	if sat != nil {
+		v.Answer = s.answer(sat)
+		v.Reason = fmt.Sprintf("budget of %d probes exhausted; answer satisfies the constraint but may not be the %s value",
+			s.budget, q.pick())
+	} else {
+		v.Reason = fmt.Sprintf("budget of %d probes exhausted before any satisfying point was found", s.budget)
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Pareto refinement
+
+// runPareto approximates the non-dominated frontier over 2-3 axes: probe a
+// coarse stride lattice, then repeatedly probe the unvisited ±stride
+// neighbors of the current frontier, halving strides once a neighborhood is
+// exhausted. Regions dominated at the coarse scale never get refined —
+// that is the pruning. Candidates in each round are probed in Spec.Key
+// order, so replans are byte-stable.
+func runPareto(s *session, q Question) (Verdict, error) {
+	dims := s.g.dims
+	steps := make([]int, len(dims))
+	for i, d := range dims {
+		steps[i] = len(d.vals) / 2 // ceil((n-1)/2)
+		if steps[i] < 1 {
+			steps[i] = 1
+		}
+	}
+
+	var probed [][]int // index vectors, in probe order
+	visit := func(at []int) error {
+		flat := s.g.flat(at)
+		if _, ok := s.memo[flat]; ok {
+			return nil
+		}
+		if _, err := s.probe(at); err != nil {
+			return err
+		}
+		probed = append(probed, append([]int(nil), at...))
+		return nil
+	}
+
+	// Coarse lattice: every stride multiple plus the far edge of each axis.
+	lattice := make([][]int, len(dims))
+	for i, d := range dims {
+		for j := 0; j < len(d.vals); j += steps[i] {
+			lattice[i] = append(lattice[i], j)
+		}
+		if last := lattice[i][len(lattice[i])-1]; last != len(d.vals)-1 {
+			lattice[i] = append(lattice[i], len(d.vals)-1)
+		}
+	}
+	if err := forEachCross(lattice, visit); err != nil {
+		return paretoVerdict(s, q, probed, false), err
+	}
+
+	for {
+		frontier := paretoFrontier(s, q, probed)
+		var cands [][]int
+		seen := map[int]bool{}
+		for _, at := range frontier {
+			for i := range dims {
+				for _, delta := range [2]int{-steps[i], steps[i]} {
+					nb := append([]int(nil), at...)
+					nb[i] += delta
+					if nb[i] < 0 || nb[i] >= len(dims[i].vals) {
+						continue
+					}
+					flat := s.g.flat(nb)
+					if _, ok := s.memo[flat]; ok || seen[flat] {
+						continue
+					}
+					seen[flat] = true
+					cands = append(cands, nb)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			allOne := true
+			for _, st := range steps {
+				if st > 1 {
+					allOne = false
+				}
+			}
+			if allOne {
+				return paretoVerdict(s, q, probed, true), nil
+			}
+			for i := range steps {
+				if steps[i] > 1 {
+					steps[i] /= 2
+				}
+			}
+			continue
+		}
+		sort.Slice(cands, func(a, b int) bool { return s.key(cands[a]) < s.key(cands[b]) })
+		for _, at := range cands {
+			if err := visit(at); err != nil {
+				return paretoVerdict(s, q, probed, false), err
+			}
+		}
+	}
+}
+
+// forEachCross walks the cross product of per-axis position lists in
+// lexicographic order.
+func forEachCross(lists [][]int, f func(at []int) error) error {
+	at := make([]int, len(lists))
+	var rec func(d int) error
+	rec = func(d int) error {
+		if d == len(lists) {
+			pt := make([]int, len(lists))
+			for i, j := range at {
+				pt[i] = lists[i][j]
+			}
+			return f(pt)
+		}
+		for at[d] = 0; at[d] < len(lists[d]); at[d]++ {
+			if err := rec(d + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// dominates reports whether a is at least as good as b on every objective
+// and strictly better on at least one.
+func dominates(q Question, a, b map[string]float64) bool {
+	strict := false
+	for _, o := range q.Objectives {
+		av, bv := a[o.Metric], b[o.Metric]
+		if o.maximize() {
+			av, bv = -av, -bv
+		}
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// paretoFrontier filters the probed points down to the non-dominated set,
+// sorted by Spec.Key. Duplicate metric vectors all survive (neither
+// dominates), keeping the filter deterministic.
+func paretoFrontier(s *session, q Question, probed [][]int) [][]int {
+	var out [][]int
+	for _, a := range probed {
+		dominated := false
+		for _, b := range probed {
+			if dominates(q, s.memo[s.g.flat(b)], s.memo[s.g.flat(a)]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return s.key(out[a]) < s.key(out[b]) })
+	return out
+}
+
+func paretoVerdict(s *session, q Question, probed [][]int, converged bool) Verdict {
+	frontier := paretoFrontier(s, q, probed)
+	v := Verdict{Converged: converged}
+	v.Frontier = make([]Answer, len(frontier))
+	for i, at := range frontier {
+		v.Frontier[i] = *s.answer(at)
+	}
+	objs := make([]string, len(q.Objectives))
+	for i, o := range q.Objectives {
+		objs[i] = o.Metric
+	}
+	if converged {
+		v.Reason = fmt.Sprintf("frontier of %d points over %s is stable at stride 1", len(frontier), strings.Join(objs, "/"))
+	} else {
+		v.Reason = fmt.Sprintf("budget of %d probes exhausted; frontier of %d points over %s is best-effort",
+			s.budget, len(frontier), strings.Join(objs, "/"))
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted successive halving
+
+// runHalving shrinks a per-axis index region around the incumbent best:
+// each round probes the {lo, mid, hi} lattice of the region, moves the
+// region to bracket the best point seen in that lattice (ties toward the
+// smaller Spec.Key), and halves its width, until every axis is pinned.
+// The answer is the best point probed anywhere, which under the budget cap
+// makes this the "spend N probes as well as you can" strategy.
+func runHalving(s *session, q Question) (Verdict, error) {
+	dims := s.g.dims
+	o := q.Objective
+	lo := make([]int, len(dims))
+	hi := make([]int, len(dims))
+	for i, d := range dims {
+		hi[i] = len(d.vals) - 1
+	}
+
+	better := func(a, b []int) bool {
+		av := s.memo[s.g.flat(a)][o.Metric]
+		bv := s.memo[s.g.flat(b)][o.Metric]
+		if o.maximize() {
+			av, bv = -av, -bv
+		}
+		if av != bv {
+			return av < bv
+		}
+		return s.key(a) < s.key(b)
+	}
+
+	var best []int // over all probed points
+	visit := func(at []int) error {
+		if _, err := s.probe(at); err != nil {
+			return err
+		}
+		if best == nil || better(at, best) {
+			best = append(best[:0:0], at...)
+		}
+		return nil
+	}
+
+	for {
+		done := true
+		for i := range dims {
+			if hi[i] > lo[i] {
+				done = false
+			}
+		}
+		if done {
+			return Verdict{
+				Converged: true,
+				Reason: fmt.Sprintf("%s %s converged at the region's fixed point",
+					objGoal(o), o.Metric),
+				Answer: s.answer(best),
+			}, nil
+		}
+
+		lattice := make([][]int, len(dims))
+		for i := range dims {
+			pts := []int{lo[i]}
+			if mid := (lo[i] + hi[i]) / 2; mid != lo[i] && mid != hi[i] {
+				pts = append(pts, mid)
+			}
+			if hi[i] != lo[i] {
+				pts = append(pts, hi[i])
+			}
+			lattice[i] = pts
+		}
+		var round [][]int
+		if err := forEachCross(lattice, func(at []int) error {
+			round = append(round, at)
+			return nil
+		}); err != nil {
+			return Verdict{}, err
+		}
+		sort.Slice(round, func(a, b int) bool { return s.key(round[a]) < s.key(round[b]) })
+		for _, at := range round {
+			if err := visit(at); err != nil {
+				return halvingBestEffort(s, o, best), err
+			}
+		}
+
+		// Best of this round's lattice steers the region.
+		var rb []int
+		for _, at := range round {
+			if rb == nil || better(at, rb) {
+				rb = at
+			}
+		}
+		for i := range dims {
+			w := hi[i] - lo[i]
+			if w <= 2 {
+				lo[i], hi[i] = rb[i], rb[i]
+				continue
+			}
+			nlo := (lo[i] + rb[i]) / 2
+			nhi := (rb[i] + hi[i] + 1) / 2
+			lo[i], hi[i] = nlo, nhi
+		}
+	}
+}
+
+func objGoal(o Objective) string {
+	if o.maximize() {
+		return "maximizing"
+	}
+	return "minimizing"
+}
+
+func halvingBestEffort(s *session, o Objective, best []int) Verdict {
+	v := Verdict{Converged: false}
+	if best != nil {
+		v.Answer = s.answer(best)
+		v.Reason = fmt.Sprintf("budget of %d probes exhausted; answer is the incumbent best for %s", s.budget, o.Metric)
+	} else {
+		v.Reason = fmt.Sprintf("budget of %d probes exhausted before any point was measured", s.budget)
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// CLI objective grammar
+
+// ParseObjectives decodes repeated -objective flag values into the typed
+// blocks a Question takes. The grammar, one clause per flag:
+//
+//	metric          objective, metric's natural direction
+//	min:metric      objective, explicit direction (also max:)
+//	metric>=0.95    absolute constraint (also <=)
+//	metric~0.99     constraint: within this factor of the best observed
+//
+// At most one constraint clause is allowed (knee bisects one predicate).
+func ParseObjectives(clauses []string) ([]Objective, *Constraint, error) {
+	var objs []Objective
+	var cons *Constraint
+	addCons := func(c Constraint) error {
+		if cons != nil {
+			return fmt.Errorf("planner: at most one constraint clause, got a second: %q", c.Metric)
+		}
+		cons = &c
+		return nil
+	}
+	for _, cl := range clauses {
+		cl = strings.TrimSpace(cl)
+		switch {
+		case strings.Contains(cl, "~"):
+			name, val, _ := strings.Cut(cl, "~")
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("planner: bad slack in %q: %v", cl, err)
+			}
+			if err := addCons(Constraint{Metric: name, SlackOfBest: f}); err != nil {
+				return nil, nil, err
+			}
+		case strings.Contains(cl, ">="), strings.Contains(cl, "<="):
+			op := ">="
+			if strings.Contains(cl, "<=") {
+				op = "<="
+			}
+			name, val, _ := strings.Cut(cl, op)
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("planner: bad bound in %q: %v", cl, err)
+			}
+			if err := addCons(Constraint{Metric: name, Op: op, Value: f}); err != nil {
+				return nil, nil, err
+			}
+		case strings.HasPrefix(cl, "min:"), strings.HasPrefix(cl, "max:"):
+			goal, name, _ := strings.Cut(cl, ":")
+			objs = append(objs, Objective{Metric: name, Goal: goal})
+		default:
+			objs = append(objs, Objective{Metric: cl})
+		}
+	}
+	return objs, cons, nil
+}

@@ -1,0 +1,42 @@
+// External test package: report imports planner which imports runner, so
+// a test that renders results through report must live outside package
+// runner to avoid an import cycle.
+package runner_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/workloads"
+)
+
+// TestWorkerCountInvariance is the determinism contract of the whole
+// subsystem: fanning runs across goroutines must not change a single byte
+// of output, because each run owns a single-threaded engine and results are
+// collected in input order.
+func TestWorkerCountInvariance(t *testing.T) {
+	specs := runner.Matrix([]string{"EP", "IS"}, runner.AllSystems, workloads.Tiny, 4)
+	var serial, parallel bytes.Buffer
+
+	r1, err := runner.Collect(runner.Run(specs, runner.Options{Workers: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.CSV(&serial, r1)
+
+	r8, err := runner.Collect(runner.Run(specs, runner.Options{Workers: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.CSV(&parallel, r8)
+
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("output differs between -workers 1 and -workers 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("sweep produced no output")
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"testing"
 
 	"repro/internal/config"
-	"repro/internal/report"
 	"repro/internal/system"
 	"repro/internal/workloads"
 )
@@ -18,35 +17,6 @@ import (
 // three memory systems at the test scale.
 func tinySpecs() []system.Spec {
 	return Matrix([]string{"EP", "IS"}, AllSystems, workloads.Tiny, 4)
-}
-
-// TestWorkerCountInvariance is the determinism contract of the whole
-// subsystem: fanning runs across goroutines must not change a single byte
-// of output, because each run owns a single-threaded engine and results are
-// collected in input order.
-func TestWorkerCountInvariance(t *testing.T) {
-	specs := tinySpecs()
-	var serial, parallel bytes.Buffer
-
-	r1, err := Collect(Run(specs, Options{Workers: 1}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	report.CSV(&serial, r1)
-
-	r8, err := Collect(Run(specs, Options{Workers: 8}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	report.CSV(&parallel, r8)
-
-	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
-		t.Fatalf("output differs between -workers 1 and -workers 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
-			serial.String(), parallel.String())
-	}
-	if serial.Len() == 0 {
-		t.Fatal("sweep produced no output")
-	}
 }
 
 func TestResultsArriveInInputOrder(t *testing.T) {

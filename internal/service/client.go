@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/planner"
 	"repro/internal/system"
 	"repro/internal/telemetry"
 )
@@ -27,10 +28,12 @@ type Client struct {
 	// HTTP overrides the transport; nil means http.DefaultClient.
 	HTTP *http.Client
 
-	// Retries bounds automatic resubmission after a load shed (429) or
+	// Retries bounds automatic re-issue after a load shed (429) or
 	// transient unavailability (503); zero means fail on the first such
-	// answer. Each retry honors the server's Retry-After hint when present,
-	// else backs off exponentially from Backoff.
+	// answer. Every request path retries — submissions, sweeps, plans, and
+	// the GET endpoints — so a plan or sweep survives a busy fleet member.
+	// Each retry honors the server's Retry-After hint when present, else
+	// backs off exponentially from Backoff.
 	Retries int
 
 	// Backoff seeds the exponential retry delay; zero means 100ms.
@@ -275,11 +278,11 @@ func (c *Client) Sweep(ctx context.Context, m Matrix, timeout time.Duration, eac
 	if timeout > 0 {
 		q.Set("timeout", timeout.String())
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/sweep", q), nil)
-	if err != nil {
-		return SweepSummary{}, err
-	}
-	resp, err := c.http().Do(req)
+	// A shed (429/503) arrives before the stream starts, so retrying the
+	// whole GET is safe: no lines have been consumed yet.
+	resp, err := c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/sweep", q), nil)
+	})
 	if err != nil {
 		return SweepSummary{}, err
 	}
@@ -322,6 +325,67 @@ func (c *Client) Sweep(ctx context.Context, m Matrix, timeout time.Duration, eac
 		return SweepSummary{}, fmt.Errorf("service: sweep stream ended without a summary")
 	}
 	return *sum, nil
+}
+
+// Plan streams an adaptive plan: POST req, invoke each for every probe
+// line as the strategy searches, and return the final verdict. Sheds
+// (429/503) retry like every other path — the body is re-marshalled fresh
+// per attempt and nothing has streamed before the status line commits.
+func (c *Client) Plan(ctx context.Context, req PlanRequest, timeout time.Duration, each func(planner.Probe) error) (planner.Verdict, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return planner.Verdict{}, err
+	}
+	q := url.Values{}
+	if timeout > 0 {
+		q.Set("timeout", timeout.String())
+	}
+	resp, err := c.doRetry(ctx, func() (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/plan", q), bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		return hreq, nil
+	})
+	if err != nil {
+		return planner.Verdict{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return planner.Verdict{}, apiError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var verdict *planner.Verdict
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev PlanEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return planner.Verdict{}, fmt.Errorf("service: bad plan line %q: %w", line, err)
+		}
+		switch {
+		case ev.Error != "":
+			return planner.Verdict{}, fmt.Errorf("service: plan failed: %s", ev.Error)
+		case ev.Verdict != nil:
+			verdict = ev.Verdict
+		case ev.Probe != nil && each != nil:
+			if err := each(*ev.Probe); err != nil {
+				return planner.Verdict{}, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return planner.Verdict{}, err
+	}
+	if verdict == nil {
+		return planner.Verdict{}, fmt.Errorf("service: plan stream ended without a verdict")
+	}
+	return *verdict, nil
 }
 
 // axisParam renders one sweep axis as its "name=v1,v2,..." query payload.

@@ -18,6 +18,13 @@
 //	                         ?workload=name:k=v names a parameterized
 //	                         workload, ?wsweep=param=v1,v2,... adds a
 //	                         workload-parameter axis; all repeat)
+//	POST /v1/plan            answer a question instead of enumerating a
+//	                         grid: an internal/planner strategy (knee
+//	                         bisection, Pareto refinement, budgeted
+//	                         halving) searches the named axes, streaming
+//	                         one JSON line per executed probe and a final
+//	                         verdict line; probes share the sweep path, so
+//	                         they land in the cache and the fleet
 //	GET  /v1/runs/{key}/timeline
 //	                         the sampled counter time series of a run that
 //	                         was submitted with a "telemetry" block
@@ -146,6 +153,9 @@ type Server struct {
 	sweepRuns     *metrics.Counter
 	sweepActive   *metrics.Gauge
 	findingsTotal *metrics.CounterVec // analysis findings by rule and severity
+	plansTotal    *metrics.CounterVec // plans by strategy and outcome
+	planProbes    *metrics.Counter
+	planHits      *metrics.Counter
 
 	// Timelines of telemetry-bearing runs, keyed like the cache but stored
 	// separately: a timeline describes one observed execution, not the
@@ -232,6 +242,11 @@ func (s *Server) initMetrics() {
 	s.sweepActive = r.Gauge("hybridsimd_sweeps_active", "Sweep streams currently open.")
 	s.findingsTotal = r.CounterVec("hybridsimd_analysis_findings_total",
 		"Analysis findings emitted, by rule and severity.", "rule", "severity")
+	s.plansTotal = r.CounterVec("hybridsimd_plans_total",
+		"POST /v1/plan requests finished, by strategy and outcome (converged, exhausted, failed, canceled).",
+		"strategy", "outcome")
+	s.planProbes = r.Counter("hybridsimd_plan_probes_total", "Probes executed by planner strategies.")
+	s.planHits = r.Counter("hybridsimd_plan_cache_hits_total", "Planner probes answered from the result cache.")
 	s.httpReqs = r.CounterVec("hybridsimd_http_requests_total",
 		"API requests by route pattern and status code.", "path", "code")
 	r.RegisterProcess("hybridsimd_", s.start)
@@ -700,6 +715,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{key}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /v1/runs/{key}/analysis", s.handleAnalysis)
 	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
@@ -743,7 +759,7 @@ func routeLabel(r *http.Request) string {
 		return "/v1/runs/{key}"
 	case strings.HasPrefix(p, "/v1/cache/"):
 		return "/v1/cache/{key}"
-	case p == "/v1/sweep", p == "/v1/cluster", p == "/v1/healthz", p == "/v1/stats", p == "/metrics":
+	case p == "/v1/sweep", p == "/v1/plan", p == "/v1/cluster", p == "/v1/healthz", p == "/v1/stats", p == "/metrics":
 		return p
 	default:
 		return "other"
@@ -1194,20 +1210,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer close(jobs)
 		for _, sp := range specs {
-			if res, ok := s.cache.Get(sp); ok {
-				jobs <- doneJob(sp, res)
-				continue
-			}
-			j := newJob(ctx, nil, sp)
-			if s.cluster != nil && fanout {
-				if owner, local := s.cluster.Owner(j.key); !local {
-					go s.runRemote(ctx, owner, j)
-					jobs <- j
-					continue
-				}
-			}
-			s.enqueueLocal(ctx, j)
-			jobs <- j
+			jobs <- s.startJob(ctx, sp, fanout)
 		}
 	}()
 

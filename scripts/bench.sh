@@ -31,7 +31,18 @@ out="${OUT:-BENCH_$(date -u +%F).json}"
 # new one lands so re-runs on the same day still diff against history.
 prev="$(ls -1 BENCH_*.json 2>/dev/null | grep -vF "$(basename "$out")" | sort | tail -n1 || true)"
 
-raw="$(go test -bench . -benchmem -run '^$' -benchtime "$benchtime" .)"
+# Capture stdout but fail loudly: `go test` reports benchmark failures on
+# stdout, which a bare $(...) under set -e would swallow on the way down.
+if ! raw="$(go test -bench . -benchmem -run '^$' -benchtime "$benchtime" .)"; then
+  printf '%s\n' "$raw" >&2
+  echo "bench.sh: go test -bench failed — no artifact written" >&2
+  exit 1
+fi
+
+# Parse into a temp file first: an artifact with zero benchmarks means the
+# output format drifted past the awk script, and must not shadow history.
+tmp="$(mktemp "${out}.XXXXXX")"
+trap 'rm -f "$tmp"' EXIT
 
 printf '%s\n' "$raw" | awk \
   -v date="$(date -u +%FT%TZ)" \
@@ -52,7 +63,15 @@ BEGIN {
 }
 END {
   printf "\n  ]\n}\n"
-}' > "$out"
+}' > "$tmp"
+
+if ! python3 -c 'import json, sys; sys.exit(0 if json.load(open(sys.argv[1]))["benchmarks"] else 1)' "$tmp"; then
+  echo "bench.sh: parsed zero benchmarks out of go test output — refusing to write $out" >&2
+  printf '%s\n' "$raw" >&2
+  exit 1
+fi
+mv "$tmp" "$out"
+trap - EXIT
 
 echo "wrote $out" >&2
 
